@@ -1,0 +1,92 @@
+"""Lemma 6.1 / Prop. 6.3 supporting series: cancellation convergence and
+majority rounds as a function of graph size, plus verifier scaling.
+
+These series back the bounded-degree majority headline with measurable data:
+how many synchronous rounds P_cancel needs to converge, how many super-steps
+the full §6.1 protocol needs across sizes and margins, and how the exact
+decision engine's configuration counts grow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import ConvergenceSample, ConvergenceSeries, reachable_configuration_count
+from repro.constructions import (
+    cancellation_converged,
+    cancellation_machine,
+    exists_label_machine,
+    majority_protocol_bounded,
+    run_cancellation,
+)
+from repro.core import cycle_graph
+from repro.properties import majority_property
+
+
+def test_cancellation_convergence_rounds(benchmark, ab):
+    """Rounds until P_cancel reaches a fixed point, for growing cycles with negative sum."""
+    machine = cancellation_machine(ab, {"a": 1, "b": -1}, degree_bound=2)
+
+    def run():
+        rounds = {}
+        for n in (6, 10, 14, 18):
+            a_count = n // 2 - 1
+            labels = ["a"] * a_count + ["b"] * (n - a_count)
+            graph = cycle_graph(ab, labels)
+            trace, fixed = run_cancellation(machine, graph, max_steps=4_000)
+            assert fixed
+            assert cancellation_converged(trace[-1], 2) in ("negative", "small")
+            rounds[n] = len(trace) - 1
+        return rounds
+
+    rounds = benchmark(run)
+    print("\n[Lemma 6.1] P_cancel rounds to convergence (cycles, sum = -2):")
+    for n, r in rounds.items():
+        print(f"  n={n:>3}: {r} synchronous rounds")
+
+
+def test_majority_rounds_scaling(benchmark, ab):
+    """Super-steps of the §6.1 protocol across sizes and margins."""
+    protocol = majority_protocol_bounded(ab, degree_bound=2)
+    prop = majority_property(ab, strict=False)
+
+    def run():
+        series = ConvergenceSeries("bounded-degree majority on cycles", [])
+        for n in (6, 10, 14):
+            for margin in (-2, 0, 2):
+                a_count = (n + margin) // 2
+                labels = ["a"] * a_count + ["b"] * (n - a_count)
+                graph = cycle_graph(ab, labels)
+                verdict, steps = protocol.decide(graph, max_steps=600)
+                series.samples.append(
+                    ConvergenceSample(
+                        graph_name=f"cycle n={n} margin={margin}",
+                        nodes=n,
+                        steps=steps,
+                        verdict=verdict.value,
+                        correct=verdict.as_bool() == prop(graph.label_count()),
+                    )
+                )
+        return series
+
+    series = benchmark(run)
+    assert series.accuracy() == 1.0
+    print(f"\n[Prop. 6.3] {series.summary()}")
+    for size, mean_steps in series.by_size().items():
+        print(f"  n={size:>3}: mean {mean_steps:.0f} super-steps")
+
+
+def test_verifier_scaling(benchmark, ab):
+    """Reachable configuration counts of the exact decision engine."""
+    machine = exists_label_machine(ab, "a")
+
+    def run():
+        sizes = {}
+        for n in (3, 4, 5, 6):
+            labels = ["a"] + ["b"] * (n - 1)
+            sizes[n] = reachable_configuration_count(machine, cycle_graph(ab, labels))
+        return sizes
+
+    sizes = benchmark(run)
+    assert all(sizes[n] <= 2**n for n in sizes)
+    print("\n[Verifier] reachable configurations of the flooding automaton on cycles:")
+    for n, count in sizes.items():
+        print(f"  n={n}: {count} configurations")

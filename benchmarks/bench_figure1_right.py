@@ -1,0 +1,74 @@
+"""Figure 1 (right): decision power on bounded-degree networks.
+
+* DAf ⊇ homogeneous thresholds (Prop. 6.3): the §6.1 synchronous algorithm
+  decides majority on bounded-degree families across a sweep of margins.
+* dAf = Cutoff(1) (Prop. D.1): the line-extension lock-step witness holds for
+  non-counting machines and fails for counting ones.
+* dAF = DAF = NSPACE(n): represented by the same constructions as the middle
+  panel (they remain available on bounded-degree graphs); the benchmark
+  reports the majority row, which is the panel's headline change.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.limitations import line_extension_lockstep_holds, line_extension_pair
+from repro.constructions import exists_label_machine, majority_protocol_bounded
+from repro.core import cycle_graph, grid_graph, random_connected_graph
+from repro.properties import majority_property
+
+
+def test_bounded_degree_majority_sweep(benchmark, ab):
+    """Prop. 6.3: majority decided correctly across margins and graph families."""
+    protocol = majority_protocol_bounded(ab, degree_bound=4)
+    prop = majority_property(ab, strict=False)
+
+    cases = []
+    for a_count, b_count in [(3, 2), (2, 3), (3, 3), (5, 3), (2, 6), (6, 6), (7, 3)]:
+        labels = ["a"] * a_count + ["b"] * b_count
+        cases.append(cycle_graph(ab, labels))
+        cases.append(random_connected_graph(ab, labels, max_degree=4, seed=a_count * 7 + b_count))
+    cases.append(grid_graph(ab, 3, 4, ["a", "b"] * 6))
+
+    def run():
+        correct = 0
+        rounds = []
+        for graph in cases:
+            verdict, steps = protocol.decide(graph)
+            rounds.append(steps)
+            correct += verdict.as_bool() == prop(graph.label_count())
+        return correct, rounds
+
+    correct, rounds = benchmark(run)
+    assert correct == len(cases)
+    print(f"\n[Figure 1 right] DAf majority on bounded degree: {correct}/{len(cases)} correct, "
+          f"rounds min/max = {min(rounds)}/{max(rounds)}")
+
+
+def test_dAf_line_extension_lockstep(benchmark, ab):
+    """Prop. D.1: non-counting machines cannot see the duplicated end node."""
+    from repro.core.machine import DistributedMachine
+
+    line, extended = line_extension_pair(ab, ["a", "b", "b", "a", "b"], "a")
+    non_counting = exists_label_machine(ab, "a")
+
+    def counting_delta(state, neighborhood):
+        ones = neighborhood.count_where(lambda s: isinstance(s, int) and s >= 1)
+        return min(state + ones, 5)
+
+    counting = DistributedMachine(
+        alphabet=ab, beta=2,
+        init=lambda label: 1 if label == "a" else 0,
+        delta=counting_delta, name="counting-accumulator",
+    )
+
+    def run():
+        return (
+            line_extension_lockstep_holds(non_counting, line, extended, steps=8),
+            line_extension_lockstep_holds(counting, line, extended, steps=8),
+        )
+
+    non_counting_locks, counting_locks = benchmark(run)
+    assert non_counting_locks is True
+    assert counting_locks is False
+    print("\n[Figure 1 right] line+duplicate lock-step: non-counting=yes (dAf stuck at "
+          "Cutoff(1)), counting=no (DAf can exploit degrees)")

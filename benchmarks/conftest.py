@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness (one file per paper figure/table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Alphabet
+
+
+@pytest.fixture(scope="session")
+def ab() -> Alphabet:
+    return Alphabet.of("a", "b")

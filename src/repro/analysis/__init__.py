@@ -1,0 +1,49 @@
+"""Limitation witnesses and the experiment harness regenerating Figure 1."""
+
+from repro.analysis.convergence import (
+    ConvergenceSample,
+    ConvergenceSeries,
+    majority_margin,
+    reachable_configuration_count,
+)
+from repro.analysis.harness import (
+    AgreementReport,
+    check_decides_property,
+    check_same_verdict,
+    figure1_row,
+    format_table,
+)
+from repro.analysis.limitations import (
+    SurgeryResult,
+    clique_cutoff_pair,
+    clique_state_counts_match,
+    covering_lockstep_holds,
+    covering_pair,
+    halting_surgery_graph,
+    line_extension_lockstep_holds,
+    line_extension_pair,
+    star_pair,
+    surgery_lockstep_holds,
+)
+
+__all__ = [
+    "AgreementReport",
+    "ConvergenceSample",
+    "ConvergenceSeries",
+    "SurgeryResult",
+    "check_decides_property",
+    "check_same_verdict",
+    "clique_cutoff_pair",
+    "clique_state_counts_match",
+    "covering_lockstep_holds",
+    "covering_pair",
+    "figure1_row",
+    "format_table",
+    "halting_surgery_graph",
+    "line_extension_lockstep_holds",
+    "line_extension_pair",
+    "majority_margin",
+    "reachable_configuration_count",
+    "star_pair",
+    "surgery_lockstep_holds",
+]

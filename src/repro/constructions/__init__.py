@@ -1,0 +1,75 @@
+"""The automata constructions of the expressiveness proofs (Sections 5, 6, App. C)."""
+
+from repro.constructions.boolean import (
+    conjunction,
+    disjunction,
+    negate,
+    negate_machine,
+    product_machine,
+)
+from repro.constructions.bounded_majority import (
+    AgentState,
+    BoundedDegreeMajorityProtocol,
+    cancellation_converged,
+    cancellation_machine,
+    contribution_bound,
+    majority_protocol_bounded,
+    run_cancellation,
+)
+from repro.constructions.exists_label import (
+    cutoff1_automaton,
+    exists_label_automaton,
+    exists_label_machine,
+    support_automaton,
+    support_machine,
+)
+from repro.constructions.nl_automaton import (
+    nl_daf_automaton,
+    nl_daf_machine,
+    token_construction,
+)
+from repro.constructions.strong_broadcast import (
+    StrongBroadcast,
+    StrongBroadcastProtocol,
+    exists_broadcast_protocol,
+    threshold_broadcast_protocol,
+)
+from repro.constructions.threshold_daf import (
+    cutoff_automaton,
+    interval_automaton,
+    threshold_broadcast_machine,
+    threshold_daf_automaton,
+    threshold_daf_machine,
+)
+
+__all__ = [
+    "AgentState",
+    "BoundedDegreeMajorityProtocol",
+    "StrongBroadcast",
+    "StrongBroadcastProtocol",
+    "cancellation_converged",
+    "cancellation_machine",
+    "conjunction",
+    "contribution_bound",
+    "cutoff1_automaton",
+    "cutoff_automaton",
+    "disjunction",
+    "exists_broadcast_protocol",
+    "exists_label_automaton",
+    "exists_label_machine",
+    "interval_automaton",
+    "majority_protocol_bounded",
+    "negate",
+    "negate_machine",
+    "nl_daf_automaton",
+    "nl_daf_machine",
+    "product_machine",
+    "run_cancellation",
+    "support_automaton",
+    "support_machine",
+    "threshold_broadcast_machine",
+    "threshold_broadcast_protocol",
+    "threshold_daf_automaton",
+    "threshold_daf_machine",
+    "token_construction",
+]

@@ -1,0 +1,124 @@
+"""dAf-automata for label-existence and Cutoff(1) properties (Appendix C.3).
+
+The basic building block is the non-counting, adversarial-fairness automaton
+deciding "some node carries label x" (the language *B* of [16, Prop. 12]):
+nodes flood a single bit.  Closing under boolean combinations gives all of
+``Cutoff(1)`` (Proposition C.4); rather than building an explicit product of
+one automaton per label, :func:`support_automaton` floods the entire observed
+*support set* in one machine — every node's state is the set of labels it
+knows to occur, which stabilises to the true support on every connected graph
+under any fair schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import DistributedAutomaton, automaton
+from repro.core.labels import Alphabet, Label, LabelCount
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.properties.base import LabellingProperty
+from repro.properties.cutoff import CutoffProperty
+
+
+def exists_label_machine(alphabet: Alphabet, label: Label) -> DistributedMachine:
+    """The two-state flooding machine deciding ``x_label ≥ 1`` (non-counting)."""
+
+    def init(node_label: Label) -> State:
+        return "yes" if node_label == label else "no"
+
+    def delta(state: State, neighborhood: Neighborhood) -> State:
+        if state == "no" and neighborhood.has("yes"):
+            return "yes"
+        return state
+
+    return DistributedMachine(
+        alphabet=alphabet,
+        beta=1,
+        init=init,
+        delta=delta,
+        accepting={"yes"},
+        rejecting={"no"},
+        states=frozenset({"yes", "no"}),
+        name=f"exists({label})",
+    )
+
+
+def exists_label_automaton(alphabet: Alphabet, label: Label) -> DistributedAutomaton:
+    """``exists_label_machine`` packaged as a dAf-automaton."""
+    return automaton(exists_label_machine(alphabet, label), "dAf")
+
+
+def support_machine(
+    alphabet: Alphabet, accept_support: frozenset[frozenset[Label]] | None = None,
+    property_on_support=None,
+    name: str = "support",
+) -> DistributedMachine:
+    """A non-counting machine whose states converge to the support of the labelling.
+
+    Each node's state is the set of labels it has learned to occur somewhere
+    in the graph; a node unions its own set with the sets of all neighbours it
+    can see.  Acceptance is decided per node by ``property_on_support`` (a
+    predicate on frozensets of labels) or, equivalently, by membership of the
+    node's set in ``accept_support``.
+    """
+    if property_on_support is None:
+        if accept_support is None:
+            raise ValueError("provide accept_support or property_on_support")
+        accepted = frozenset(accept_support)
+        property_on_support = lambda support: support in accepted  # noqa: E731
+
+    def init(node_label: Label) -> State:
+        return frozenset({node_label})
+
+    def delta(state: State, neighborhood: Neighborhood) -> State:
+        merged = set(state)
+        for neighbour_state in neighborhood.states():
+            merged.update(neighbour_state)
+        return frozenset(merged)
+
+    def accepting(state: State) -> bool:
+        return bool(property_on_support(state))
+
+    def rejecting(state: State) -> bool:
+        return not property_on_support(state)
+
+    return DistributedMachine(
+        alphabet=alphabet,
+        beta=1,
+        init=init,
+        delta=delta,
+        accepting=accepting,
+        rejecting=rejecting,
+        name=name,
+    )
+
+
+def support_automaton(prop: LabellingProperty, name: str = "") -> DistributedAutomaton:
+    """A dAf-automaton deciding a Cutoff(1) property.
+
+    The property is evaluated on the cutoff-at-1 of the support learned by
+    flooding; this decides ϕ exactly whenever ``ϕ(L) = ϕ(⌈L⌉_1)``, i.e. for
+    every property in Cutoff(1) (Proposition C.4).  Passing a property
+    outside Cutoff(1) produces an automaton deciding the Cutoff(1) property
+    ``L ↦ ϕ(⌈L⌉_1)`` instead.
+    """
+    alphabet = prop.alphabet
+
+    def property_on_support(support: frozenset[Label]) -> bool:
+        count = LabelCount.from_mapping(
+            alphabet, {label: 1 for label in support}
+        )
+        return prop.evaluate(count)
+
+    machine = support_machine(
+        alphabet,
+        property_on_support=property_on_support,
+        name=name or f"cutoff1({prop.name})",
+    )
+    return automaton(machine, "dAf")
+
+
+def cutoff1_automaton(prop: CutoffProperty) -> DistributedAutomaton:
+    """Alias of :func:`support_automaton` restricted to declared Cutoff(1) inputs."""
+    if prop.bound != 1:
+        raise ValueError("cutoff1_automaton expects a CutoffProperty with bound 1")
+    return support_automaton(prop)

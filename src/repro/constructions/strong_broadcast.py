@@ -1,0 +1,204 @@
+"""Strong broadcast protocols (the broadcast consensus protocols of [11]).
+
+In a strong broadcast protocol exactly one agent broadcasts per step: the
+initiator moves to a new state and *every* other agent applies the response
+function.  Blondin, Esparza and Jaax show these protocols decide exactly the
+predicates in NL; Lemma 5.1 uses them as the source model of the DAF = NL
+characterisation, simulating strong broadcasts with weak ones via the token
+construction (:mod:`repro.constructions.nl_automaton`).
+
+The module provides the model with exact decision under pseudo-stochastic
+fairness (the graph is irrelevant for strong broadcasts — every agent hears
+every broadcast — so configurations are effectively multisets, but we keep
+them per-node to stay uniform with the rest of the library) plus two stock
+protocols used in the experiments: threshold counting with a leader, and
+majority by repeated cancel-and-rebroadcast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.graphs import LabeledGraph
+from repro.core.labels import Alphabet, Label
+from repro.core.simulation import Verdict
+from repro.core.verification import ConfigurationGraph, bottom_sccs
+
+State = object
+
+
+@dataclass(frozen=True)
+class StrongBroadcast:
+    """A broadcast ``q ↦ new_state, response`` executed atomically by one agent."""
+
+    trigger: State
+    new_state: State
+    response: Callable[[State], State]
+
+
+@dataclass
+class StrongBroadcastProtocol:
+    """A protocol whose only transitions are strong broadcasts."""
+
+    alphabet: Alphabet
+    init: Callable[[Label], State]
+    broadcasts: Mapping[State, StrongBroadcast]
+    accepting: Iterable[State] | Callable[[State], bool] | None = None
+    rejecting: Iterable[State] | Callable[[State], bool] | None = None
+    name: str = "strong-broadcast-protocol"
+
+    def __post_init__(self) -> None:
+        self._accepting = _predicate(self.accepting)
+        self._rejecting = _predicate(self.rejecting)
+
+    def is_accepting(self, state: State) -> bool:
+        return self._accepting(state)
+
+    def is_rejecting(self, state: State) -> bool:
+        return self._rejecting(state)
+
+    def initial_configuration(self, graph: LabeledGraph) -> Configuration:
+        return tuple(self.init(graph.label_of(v)) for v in graph.nodes())
+
+    def broadcast(self, configuration: Configuration, node: int) -> Configuration:
+        """Agent ``node`` broadcasts (if its state has a broadcast; else silent)."""
+        state = configuration[node]
+        if state not in self.broadcasts:
+            return configuration
+        rule = self.broadcasts[state]
+        updated = [rule.response(s) for s in configuration]
+        updated[node] = rule.new_state
+        return tuple(updated)
+
+    def successors(self, configuration: Configuration) -> list[Configuration]:
+        result = {
+            self.broadcast(configuration, node) for node in range(len(configuration))
+        }
+        result.discard(configuration)
+        return sorted(result, key=repr) or [configuration]
+
+    def decide_pseudo_stochastic(
+        self, graph: LabeledGraph, max_configurations: int = 100_000
+    ) -> Verdict:
+        """Exact decision under pseudo-stochastic fairness (bottom-SCC analysis)."""
+        initial = self.initial_configuration(graph)
+        seen = {initial}
+        order = [initial]
+        successors: dict[Configuration, tuple[Configuration, ...]] = {}
+        frontier = [initial]
+        while frontier:
+            configuration = frontier.pop()
+            succ = tuple(self.successors(configuration))
+            successors[configuration] = succ
+            for nxt in succ:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+                    if len(seen) > max_configurations:
+                        raise RuntimeError("configuration space too large")
+        config_graph = ConfigurationGraph(
+            initial=initial, configurations=order, successors=successors, edge_selections={}
+        )
+        bottoms = bottom_sccs(config_graph)
+        all_accepting = all(
+            self.is_accepting(s)
+            for component in bottoms
+            for c in component
+            for s in c
+        )
+        all_rejecting = all(
+            self.is_rejecting(s)
+            for component in bottoms
+            for c in component
+            for s in c
+        )
+        if all_accepting and not all_rejecting:
+            return Verdict.ACCEPT
+        if all_rejecting and not all_accepting:
+            return Verdict.REJECT
+        return Verdict.INCONSISTENT
+
+
+def _predicate(spec) -> Callable[[State], bool]:
+    if spec is None:
+        return lambda _s: False
+    if callable(spec):
+        return spec
+    members = set(spec)
+    return lambda s: s in members
+
+
+# ---------------------------------------------------------------------- #
+# Stock protocols
+# ---------------------------------------------------------------------- #
+def exists_broadcast_protocol(alphabet: Alphabet, label: Label) -> StrongBroadcastProtocol:
+    """``x_label ≥ 1`` as a (tiny) strong broadcast protocol.
+
+    A node that starts with the target label broadcasts "accept" once; its
+    signal switches every agent to the accepting state.  Used as the minimal
+    end-to-end test input for the Lemma 5.1 pipeline.
+    """
+
+    def init(node_label: Label) -> State:
+        return "hit" if node_label == label else "idle"
+
+    broadcasts = {
+        "hit": StrongBroadcast(
+            trigger="hit",
+            new_state="done",
+            response=lambda s: "done",
+        )
+    }
+    return StrongBroadcastProtocol(
+        alphabet=alphabet,
+        init=init,
+        broadcasts=broadcasts,
+        accepting={"done", "hit"},
+        rejecting={"idle"},
+        name=f"strong-exists({label})",
+    )
+
+
+def threshold_broadcast_protocol(
+    alphabet: Alphabet, label: Label, k: int
+) -> StrongBroadcastProtocol:
+    """``x_label ≥ k`` with strong broadcasts (the strong analogue of Lemma C.5).
+
+    Nodes carrying the target label start at level 1, all others at level 0.
+    A broadcast by a level-``i`` agent (``i < k``) promotes every *other*
+    level-``i`` agent to level ``i+1`` while the initiator stays at ``i``;
+    therefore level ``i+1`` is reachable only if at least ``i+1`` agents
+    started at level 1.  A level-``k`` agent broadcasts the accept verdict to
+    everyone.  Conversely, if at least ``k`` agents start at level 1, a
+    pseudo-stochastically fair sequence of broadcasts eventually promotes some
+    agent to level ``k``.
+    """
+    if k < 1:
+        raise ValueError("threshold must be at least 1")
+
+    def init(node_label: Label) -> State:
+        return 1 if node_label == label else 0
+
+    def promote(level: int) -> Callable[[State], State]:
+        def response(state: State) -> State:
+            if state == level:
+                return level + 1
+            return state
+
+        return response
+
+    broadcasts: dict[State, StrongBroadcast] = {}
+    for level in range(1, k):
+        broadcasts[level] = StrongBroadcast(level, level, promote(level))
+    broadcasts[k] = StrongBroadcast(k, k, lambda _state: k)
+    return StrongBroadcastProtocol(
+        alphabet=alphabet,
+        init=init,
+        broadcasts=broadcasts,
+        accepting={k},
+        rejecting=set(range(k)),
+        name=f"strong-threshold({label} ≥ {k})",
+    )

@@ -1,0 +1,150 @@
+"""dAF-automata for threshold and Cutoff properties (Lemma C.5, Prop. C.6).
+
+The class dAF decides exactly the Cutoff properties.  The constructive half
+proceeds in two steps:
+
+1. For each threshold ``x_label ≥ k`` build the weak-broadcast protocol of
+   Lemma C.5: states ``{0, 1, …, k}``; nodes carrying the target label start
+   in state 1, all others in 0; the broadcast ``⟨level⟩`` lets an agent in
+   state ``i`` push *one other* agent from ``i`` to ``i+1`` (the initiator
+   stays at ``i``, so reaching level ``i+1`` certifies at least ``i+1``
+   distinct starters); the broadcast ``⟨accept⟩`` floods the accept verdict
+   once level ``k`` is reached.  Compiling the weak broadcasts away
+   (Lemma 4.7) yields a plain non-counting dAF machine.
+2. An arbitrary Cutoff(K) property is a boolean combination of such
+   thresholds (Proposition C.6); :func:`cutoff_automaton` assembles it with
+   the product constructions of :mod:`repro.constructions.boolean`.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import DistributedAutomaton, automaton
+from repro.core.labels import Alphabet, Label, LabelCount, enumerate_label_counts
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.constructions.boolean import conjunction, disjunction, negate
+from repro.extensions.broadcast import BroadcastMachine, WeakBroadcast, response_from_mapping
+from repro.extensions.broadcast_sim import compile_broadcasts
+from repro.properties.cutoff import CutoffProperty
+
+
+def threshold_broadcast_machine(
+    alphabet: Alphabet, label: Label, k: int
+) -> BroadcastMachine:
+    """The weak-broadcast protocol of Lemma C.5 for ``x_label ≥ k``."""
+    if k < 1:
+        raise ValueError("threshold must be at least 1")
+
+    def init(node_label: Label) -> State:
+        return 1 if node_label == label else 0
+
+    def delta(state: State, neighborhood: Neighborhood) -> State:
+        # The protocol has no neighbourhood transitions; everything happens
+        # through broadcasts.
+        return state
+
+    broadcasts: dict[State, WeakBroadcast] = {}
+    for level in range(1, k):
+        broadcasts[level] = WeakBroadcast(
+            trigger=level,
+            new_state=level,
+            response=response_from_mapping({level: level + 1}),
+            name=f"level-{level}",
+        )
+    broadcasts[k] = WeakBroadcast(
+        trigger=k,
+        new_state=k,
+        response=lambda _state: k,
+        name="accept",
+    )
+
+    return BroadcastMachine(
+        alphabet=alphabet,
+        beta=1,
+        init=init,
+        delta=delta,
+        broadcasts=broadcasts,
+        accepting={k},
+        rejecting=set(range(k)),
+        name=f"threshold({label} ≥ {k})",
+    )
+
+
+def threshold_daf_machine(alphabet: Alphabet, label: Label, k: int) -> DistributedMachine:
+    """The Lemma C.5 protocol compiled into a plain non-counting machine."""
+    if k == 1:
+        # x ≥ 1 is the flooding automaton; no broadcasts needed.
+        from repro.constructions.exists_label import exists_label_machine
+
+        return exists_label_machine(alphabet, label)
+    return compile_broadcasts(
+        threshold_broadcast_machine(alphabet, label, k),
+        name=f"dAF-threshold({label} ≥ {k})",
+    )
+
+
+def threshold_daf_automaton(alphabet: Alphabet, label: Label, k: int) -> DistributedAutomaton:
+    """A dAF-automaton deciding ``x_label ≥ k``."""
+    return automaton(threshold_daf_machine(alphabet, label, k), "dAF")
+
+
+def interval_automaton(
+    alphabet: Alphabet, label: Label, lower: int, upper: int | None
+) -> DistributedAutomaton:
+    """``lower ≤ x_label`` and (if ``upper`` is not None) ``x_label ≤ upper``.
+
+    The bounded version is ``(x ≥ lower) ∧ ¬(x ≥ upper + 1)``, matching the
+    conjuncts in the proof of Proposition C.6.
+    """
+    if lower >= 1:
+        result = threshold_daf_automaton(alphabet, label, lower)
+    else:
+        # x ≥ 0 is trivially true: build "exists(label) or not exists(label)".
+        base = threshold_daf_automaton(alphabet, label, 1)
+        result = disjunction(base, negate(base))
+    if upper is not None:
+        result = conjunction(
+            result, negate(threshold_daf_automaton(alphabet, label, upper + 1))
+        )
+    return result
+
+
+def cutoff_automaton(prop: CutoffProperty, max_terms: int = 64) -> DistributedAutomaton:
+    """A dAF-automaton deciding an arbitrary Cutoff(K) property (Prop. C.6).
+
+    The property is written as a disjunction, over all accepted cutoff
+    vectors ``f ∈ [K]^Λ``, of the conjunctions ``⋀_i (x_i ≥ f(i)) ∧
+    ¬(x_i ≥ f(i)+1 if f(i) < K)``.  The number of disjuncts is bounded by
+    ``(K+1)^|Λ|``; ``max_terms`` guards against accidental blow-ups.
+    """
+    alphabet = prop.alphabet
+    bound = prop.bound
+    accepted_vectors = [
+        count
+        for count in enumerate_label_counts(alphabet, bound, min_total=0)
+        if prop.function(count)
+    ]
+    if len(accepted_vectors) > max_terms:
+        raise ValueError(
+            f"{len(accepted_vectors)} accepted cutoff vectors exceed max_terms={max_terms}"
+        )
+    if not accepted_vectors:
+        # Always-false property: "exists(first label) and not exists(first label)".
+        label = alphabet.labels[0]
+        base = threshold_daf_automaton(alphabet, label, 1)
+        return conjunction(base, negate(base))
+
+    disjuncts: list[DistributedAutomaton] = []
+    for vector in accepted_vectors:
+        conjuncts: list[DistributedAutomaton] = []
+        for label in alphabet:
+            value = vector[label]
+            upper = None if value == bound else value
+            conjuncts.append(interval_automaton(alphabet, label, value, upper))
+        term = conjuncts[0]
+        for extra in conjuncts[1:]:
+            term = conjunction(term, extra)
+        disjuncts.append(term)
+    result = disjuncts[0]
+    for extra in disjuncts[1:]:
+        result = disjunction(result, extra)
+    return result

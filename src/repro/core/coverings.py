@@ -1,0 +1,112 @@
+"""Covering graphs and λ-fold lifts (Lemma 3.2 and Corollary 3.3).
+
+A graph ``H`` *covers* ``G`` if there is a surjection ``f : V_H → V_G`` that
+preserves labels and maps the neighbourhood of every node of ``H``
+bijectively onto the neighbourhood of its image.  Automata with adversarial
+selection cannot distinguish a graph from one covering it (Lemma 3.2); in
+particular, labelling properties decided by DAf-automata are invariant under
+scalar multiplication of the label count (Corollary 3.3), because the cycle
+labelled ``λ·L`` is a λ-fold cover of the cycle labelled ``L``.
+
+This module provides
+
+* :func:`is_covering_map` — check the covering-map conditions explicitly,
+* :func:`cycle_lift` — the λ-fold lift of a labelled cycle used in the proof
+  of Corollary 3.3,
+* :func:`lift_graph` — a generic λ-fold lift ``G × Z_λ`` (a covering of any
+  graph, not just cycles), used by the experiment harness to produce
+  additional covering pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.graphs import LabeledGraph, Node, cycle_graph
+from repro.core.labels import Label
+
+
+def is_covering_map(
+    cover: LabeledGraph, base: LabeledGraph, mapping: Mapping[Node, Node]
+) -> bool:
+    """Check that ``mapping`` is a covering map from ``cover`` onto ``base``.
+
+    The three conditions of the definition are checked directly:
+    surjectivity, label preservation, and the local-bijection condition on
+    neighbourhoods.
+    """
+    if set(mapping.keys()) != set(cover.nodes()):
+        return False
+    if set(mapping.values()) != set(base.nodes()):
+        return False
+    for node in cover.nodes():
+        if cover.label_of(node) != base.label_of(mapping[node]):
+            return False
+    for node in cover.nodes():
+        image = mapping[node]
+        neighbour_images = [mapping[u] for u in cover.neighbors(node)]
+        base_neighbours = list(base.neighbors(image))
+        # The restriction of the map to the neighbourhood must be a bijection
+        # onto the neighbourhood of the image: same multiset, no repetitions.
+        if sorted(neighbour_images) != sorted(base_neighbours):
+            return False
+        if len(set(neighbour_images)) != len(neighbour_images):
+            return False
+    return True
+
+
+def cycle_lift(base_cycle_labels: Sequence[Label], factor: int, alphabet) -> tuple[
+    LabeledGraph, LabeledGraph, dict[Node, Node]
+]:
+    """The λ-fold lift of a labelled cycle (proof of Corollary 3.3).
+
+    Returns ``(base, cover, mapping)`` where ``base`` is the cycle labelled
+    with ``base_cycle_labels``, ``cover`` is the cycle obtained by repeating
+    that label sequence ``factor`` times, and ``mapping`` is the covering map
+    (position modulo the base length).
+    """
+    if factor < 1:
+        raise ValueError("covering factor must be at least 1")
+    n = len(base_cycle_labels)
+    if n < 3:
+        raise ValueError("base cycle needs at least 3 nodes")
+    base = cycle_graph(alphabet, base_cycle_labels, name="base-cycle")
+    cover_labels = list(base_cycle_labels) * factor
+    cover = cycle_graph(alphabet, cover_labels, name=f"{factor}-fold-cover")
+    mapping = {node: node % n for node in cover.nodes()}
+    return base, cover, mapping
+
+
+def lift_graph(base: LabeledGraph, factor: int) -> tuple[LabeledGraph, dict[Node, Node]]:
+    """A λ-fold covering of an arbitrary graph.
+
+    The cover has node set ``V × Z_factor``.  Every base edge ``{u, v}`` is
+    lifted to the ``factor`` edges ``{(u, i), (v, i + s_uv mod factor)}`` for a
+    fixed shift ``s_uv`` (we use shift 1, a "cyclic" lift), which yields a
+    connected cover for connected non-bipartite-ish bases and is always a
+    valid covering map.  Returns ``(cover, mapping)``.
+
+    Note: the lift of a connected graph need not be connected for every
+    choice of shifts; callers that require connectivity should check
+    :meth:`LabeledGraph.is_connected` (the cycle lift above is always
+    connected and is what Corollary 3.3 uses).
+    """
+    if factor < 1:
+        raise ValueError("covering factor must be at least 1")
+    n = base.num_nodes
+
+    def lifted(node: Node, layer: int) -> Node:
+        return layer * n + node
+
+    labels: list[Label] = []
+    for layer in range(factor):
+        labels.extend(base.labels)
+    edges: list[tuple[Node, Node]] = []
+    for u, v in base.edge_pairs():
+        for layer in range(factor):
+            edges.append((lifted(u, layer), lifted(v, (layer + 1) % factor)))
+    cover = LabeledGraph.build(
+        base.alphabet, labels, edges, name=f"{base.name}-lift{factor}"
+    )
+    mapping = {lifted(node, layer): node for layer in range(factor) for node in base.nodes()}
+    return cover, mapping

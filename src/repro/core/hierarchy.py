@@ -1,0 +1,173 @@
+"""The seven equivalence classes of Figure 1 and their decision-power map.
+
+Esparza & Reiter's 24 model combinations collapse into seven equivalence
+classes with respect to decision power (Figure 1, left): the selection axis is
+irrelevant, and ``daf`` and ``daF`` coincide.  This module encodes
+
+* the seven classes and the inclusion lattice between them,
+* the characterisation of their decision power on labelling properties for
+  arbitrary networks (Figure 1, middle) and for bounded-degree networks
+  (Figure 1, right), as established by the paper,
+* helpers used by the Figure 1 benchmarks to tabulate which of the library's
+  reference properties each class can decide.
+
+The characterisations are encoded as :class:`PowerClass` values; the actual
+*verification* that the constructions of this library realise them is done by
+the benchmarks and tests, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.automaton import ALL_CLASSES, AutomatonClass
+
+
+class PowerClass(Enum):
+    """The property classes appearing in Figure 1."""
+
+    TRIVIAL = "Trivial"
+    CUTOFF_1 = "Cutoff(1)"
+    CUTOFF = "Cutoff"
+    NL = "NL"
+    ISM_BOUNDED = "Maj ⊆ · ⊆ ISM"
+    NSPACE_N = "NSPACE(n)"
+
+
+#: Representatives of the seven equivalence classes (Figure 1, left).  The
+#: class ``daf`` represents both ``daf`` and ``daF``.
+SEVEN_CLASSES: tuple[str, ...] = ("daf", "Daf", "dAf", "DaF", "DAf", "dAF", "DAF")
+
+#: Collapse map: every one of the eight class strings to its representative.
+COLLAPSE: dict[str, str] = {
+    "daf": "daf",
+    "daF": "daf",
+    "Daf": "Daf",
+    "DaF": "DaF",
+    "dAf": "dAf",
+    "dAF": "dAF",
+    "DAf": "DAf",
+    "DAF": "DAF",
+}
+
+#: Strict inclusions between the seven classes proved in [16] (Figure 1 left):
+#: an edge (x, y) means the decision power of x is included in that of y.
+INCLUSIONS: tuple[tuple[str, str], ...] = (
+    ("daf", "Daf"),
+    ("daf", "dAf"),
+    ("Daf", "DaF"),
+    ("Daf", "DAf"),
+    ("dAf", "DAf"),
+    ("dAf", "dAF"),
+    ("DaF", "DAF"),
+    ("DAf", "DAF"),
+    ("dAF", "DAF"),
+)
+
+#: Decision power on labelling properties, arbitrary networks (Figure 1 middle).
+ARBITRARY_POWER: dict[str, PowerClass] = {
+    "daf": PowerClass.TRIVIAL,
+    "Daf": PowerClass.TRIVIAL,
+    "DaF": PowerClass.TRIVIAL,
+    "dAf": PowerClass.CUTOFF_1,
+    "DAf": PowerClass.CUTOFF_1,
+    "dAF": PowerClass.CUTOFF,
+    "DAF": PowerClass.NL,
+}
+
+#: Decision power on labelling properties, bounded-degree networks (Figure 1 right).
+BOUNDED_DEGREE_POWER: dict[str, PowerClass] = {
+    "daf": PowerClass.TRIVIAL,
+    "Daf": PowerClass.TRIVIAL,
+    "DaF": PowerClass.TRIVIAL,
+    "dAf": PowerClass.CUTOFF_1,
+    "DAf": PowerClass.ISM_BOUNDED,
+    "dAF": PowerClass.NSPACE_N,
+    "DAF": PowerClass.NSPACE_N,
+}
+
+
+@dataclass(frozen=True)
+class ClassCharacterisation:
+    """One row of the Figure 1 classification for a single class."""
+
+    representative: str
+    members: tuple[str, ...]
+    arbitrary: PowerClass
+    bounded_degree: PowerClass
+    can_decide_majority_arbitrary: bool
+    can_decide_majority_bounded: bool
+
+
+def representative_of(class_symbol: str) -> str:
+    """The representative of the equivalence class containing ``class_symbol``."""
+    if class_symbol not in COLLAPSE:
+        raise ValueError(f"unknown class string {class_symbol!r}")
+    return COLLAPSE[class_symbol]
+
+
+def members_of(representative: str) -> tuple[str, ...]:
+    """All class strings collapsing onto ``representative``."""
+    return tuple(sorted(s for s, r in COLLAPSE.items() if r == representative))
+
+
+def characterisation(representative: str) -> ClassCharacterisation:
+    """The paper's characterisation of one of the seven classes."""
+    if representative not in SEVEN_CLASSES:
+        raise ValueError(f"{representative!r} is not one of the seven representatives")
+    arbitrary = ARBITRARY_POWER[representative]
+    bounded = BOUNDED_DEGREE_POWER[representative]
+    return ClassCharacterisation(
+        representative=representative,
+        members=members_of(representative),
+        arbitrary=arbitrary,
+        bounded_degree=bounded,
+        can_decide_majority_arbitrary=arbitrary is PowerClass.NL,
+        can_decide_majority_bounded=bounded
+        in (PowerClass.NL, PowerClass.ISM_BOUNDED, PowerClass.NSPACE_N),
+    )
+
+
+def full_table() -> list[ClassCharacterisation]:
+    """The complete Figure 1 table (middle and right panels) as data."""
+    return [characterisation(representative) for representative in SEVEN_CLASSES]
+
+
+def is_included(weaker: str, stronger: str) -> bool:
+    """Whether the decision power of ``weaker`` is included in that of ``stronger``.
+
+    Computed as reachability in the inclusion lattice (reflexive-transitive
+    closure of :data:`INCLUSIONS`).
+    """
+    weaker = representative_of(weaker)
+    stronger = representative_of(stronger)
+    if weaker == stronger:
+        return True
+    frontier = [weaker]
+    seen = {weaker}
+    while frontier:
+        current = frontier.pop()
+        for lower, upper in INCLUSIONS:
+            if lower == current and upper not in seen:
+                if upper == stronger:
+                    return True
+                seen.add(upper)
+                frontier.append(upper)
+    return False
+
+
+def classes_deciding_majority(bounded_degree: bool) -> list[str]:
+    """Which of the seven classes can decide majority (headline result)."""
+    table = BOUNDED_DEGREE_POWER if bounded_degree else ARBITRARY_POWER
+    deciders = []
+    for representative in SEVEN_CLASSES:
+        power = table[representative]
+        if power in (PowerClass.NL, PowerClass.ISM_BOUNDED, PowerClass.NSPACE_N):
+            deciders.append(representative)
+    return deciders
+
+
+def all_class_objects() -> tuple[AutomatonClass, ...]:
+    """The eight :class:`AutomatonClass` objects (before the daf/daF collapse)."""
+    return ALL_CLASSES

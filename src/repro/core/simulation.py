@@ -1,0 +1,239 @@
+"""Concrete simulation of distributed automata (Monte-Carlo / trace engine).
+
+The exact decision engine (:mod:`repro.core.verification`) quantifies over all
+fair schedules via the configuration graph, but it is limited to small graphs.
+This module runs a machine on a graph under a *concrete* schedule generator
+and observes the resulting run: it records the trace, detects consensus, and
+applies a stabilisation heuristic ("the configuration has been an accepting
+consensus for the last ``stability_window`` steps and no transition is
+enabled that would leave it" or simply a long quiet period).
+
+Simulation never *proves* acceptance by stable consensus — it produces
+positive evidence, which the benchmarks label as such.  For halting automata,
+however, a simulated run that reaches a halted consensus is conclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.automaton import DistributedAutomaton
+from repro.core.configuration import (
+    Configuration,
+    consensus_value,
+    initial_configuration,
+    neighborhood_of,
+    successor,
+)
+from repro.core.graphs import LabeledGraph
+from repro.core.machine import DistributedMachine
+from repro.core.scheduler import (
+    RandomExclusiveSchedule,
+    ScheduleGenerator,
+    Selection,
+    SynchronousSchedule,
+)
+
+
+class Verdict(Enum):
+    """Outcome of a simulated (or exactly decided) computation."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    UNDECIDED = "undecided"
+    INCONSISTENT = "inconsistent"
+
+    def as_bool(self) -> bool | None:
+        if self is Verdict.ACCEPT:
+            return True
+        if self is Verdict.REJECT:
+            return False
+        return None
+
+
+@dataclass
+class RunResult:
+    """The outcome of one simulated run."""
+
+    verdict: Verdict
+    steps: int
+    final_configuration: Configuration
+    stabilised_at: int | None = None
+    trace: list[Configuration] | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.verdict is Verdict.ACCEPT
+
+    @property
+    def rejected(self) -> bool:
+        return self.verdict is Verdict.REJECT
+
+
+@dataclass
+class SimulationEngine:
+    """Runs machines on graphs under concrete schedules.
+
+    Parameters
+    ----------
+    max_steps:
+        Hard bound on the number of scheduler steps.
+    stability_window:
+        The run is declared stabilised when the consensus value has not
+        changed (and stayed a consensus) for this many consecutive steps, or
+        when the configuration itself has been constant for this many steps.
+    record_trace:
+        Keep the full configuration trace (memory-heavy; used by the
+        Figure 2 reproduction and by debugging).
+    """
+
+    max_steps: int = 10_000
+    stability_window: int = 200
+    record_trace: bool = False
+
+    # ------------------------------------------------------------------ #
+    def run_machine(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        start: Configuration | None = None,
+    ) -> RunResult:
+        """Run ``machine`` on ``graph`` under the given schedule generator."""
+        configuration = (
+            start if start is not None else initial_configuration(machine, graph)
+        )
+        trace: list[Configuration] | None = [configuration] if self.record_trace else None
+        consensus_streak = 0
+        quiet_streak = 0
+        last_consensus = consensus_value(machine, configuration)
+        stabilised_at: int | None = None
+        step = 0
+        for selection in schedule.selections(graph):
+            if step >= self.max_steps:
+                break
+            step += 1
+            next_configuration = successor(machine, graph, configuration, selection)
+            if trace is not None:
+                trace.append(next_configuration)
+            if next_configuration == configuration:
+                quiet_streak += 1
+            else:
+                quiet_streak = 0
+            configuration = next_configuration
+            current = consensus_value(machine, configuration)
+            if current is not None and current == last_consensus:
+                consensus_streak += 1
+            else:
+                consensus_streak = 0
+            last_consensus = current
+            if consensus_streak >= self.stability_window:
+                stabilised_at = step
+                break
+            if quiet_streak >= self.stability_window and current is not None:
+                stabilised_at = step
+                break
+        final_value = consensus_value(machine, configuration)
+        if stabilised_at is not None and final_value is not None:
+            verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
+        elif final_value is not None:
+            # Ran out of steps but ended in a consensus: report it, flagged as
+            # merely the final observation.
+            verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
+        else:
+            verdict = Verdict.UNDECIDED
+        return RunResult(
+            verdict=verdict,
+            steps=step,
+            final_configuration=configuration,
+            stabilised_at=stabilised_at,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_automaton(
+        self,
+        automaton: DistributedAutomaton,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator | None = None,
+        seed: int | None = None,
+    ) -> RunResult:
+        """Run an automaton under a schedule appropriate for its class.
+
+        If no schedule is given, a synchronous schedule is used for
+        synchronous automata and a uniformly random exclusive schedule
+        otherwise (the natural surrogate for pseudo-stochastic fairness, and
+        a fair adversarial schedule as well).
+        """
+        if schedule is None:
+            from repro.core.scheduler import SelectionMode
+
+            if automaton.selection is SelectionMode.SYNCHRONOUS:
+                schedule = SynchronousSchedule()
+            else:
+                schedule = RandomExclusiveSchedule(seed=seed)
+        return self.run_machine(automaton.machine, graph, schedule)
+
+    # ------------------------------------------------------------------ #
+    def majority_vote(
+        self,
+        automaton: DistributedAutomaton,
+        graph: LabeledGraph,
+        repetitions: int = 5,
+        base_seed: int = 0,
+    ) -> Verdict:
+        """Run several random-schedule simulations and combine the verdicts.
+
+        If all decided runs agree the common verdict is returned; if they
+        disagree the result is ``INCONSISTENT`` (evidence that either the
+        automaton violates the consistency condition or the stabilisation
+        heuristic fired too early); if no run decided, ``UNDECIDED``.
+        """
+        verdicts: list[Verdict] = []
+        for repetition in range(repetitions):
+            schedule = RandomExclusiveSchedule(seed=base_seed + repetition)
+            result = self.run_automaton(automaton, graph, schedule=schedule)
+            if result.verdict in (Verdict.ACCEPT, Verdict.REJECT):
+                verdicts.append(result.verdict)
+        if not verdicts:
+            return Verdict.UNDECIDED
+        if all(v is verdicts[0] for v in verdicts):
+            return verdicts[0]
+        return Verdict.INCONSISTENT
+
+
+def synchronous_trace(
+    machine: DistributedMachine, graph: LabeledGraph, steps: int
+) -> list[Configuration]:
+    """The (unique) synchronous run prefix of length ``steps``.
+
+    The synchronous run is the workhorse of several lower-bound arguments
+    (Lemmas 3.2, 3.4, Prop. D.1): under adversarial fairness it is a fair
+    run, and on covering pairs / cliques / extended lines it proceeds in
+    lock-step.
+    """
+    configuration = initial_configuration(machine, graph)
+    everyone = frozenset(graph.nodes())
+    trace = [configuration]
+    for _ in range(steps):
+        configuration = successor(machine, graph, configuration, everyone)
+        trace.append(configuration)
+    return trace
+
+
+def enabled_nodes(
+    machine: DistributedMachine, graph: LabeledGraph, configuration: Configuration
+) -> list[int]:
+    """Nodes whose individual selection would change the configuration.
+
+    Used by stabilisation checks and by the reordering machinery: a
+    configuration with no enabled node is a fixed point under every
+    selection.
+    """
+    enabled = []
+    for node in graph.nodes():
+        neighborhood = neighborhood_of(machine, graph, configuration, node)
+        if machine.step(configuration[node], neighborhood) != configuration[node]:
+            enabled.append(node)
+    return enabled

@@ -1,0 +1,348 @@
+"""Distributed machines with weak broadcasts (Definition 4.5).
+
+A weak broadcast transition ``q ↦ r, f`` lets an *initiator* in state ``q``
+move to ``r`` while every other agent reacts by applying the response
+function ``f`` — except that several broadcasts may be initiated at the same
+time, in which case every non-initiator receives exactly one of the signals
+(chosen by the scheduler).  Weak broadcasts are the paper's main tool for the
+upper-bound constructions: dAF threshold automata (Lemma C.5), the DAF token
+construction (Lemma 5.1) and the bounded-degree doubling protocol (§6.1) are
+all written with them and then compiled away using Lemma 4.7
+(:mod:`repro.extensions.broadcast_sim`).
+
+This module implements the extended model itself: the data structure, its
+operational semantics (neighbourhood steps and weak-broadcast steps with an
+adversarially chosen signal assignment), a Monte-Carlo simulator and an exact
+decision procedure under pseudo-stochastic fairness based on the same
+bottom-SCC analysis as for plain automata.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.core.configuration import Configuration
+from repro.core.graphs import LabeledGraph, Node
+from repro.core.labels import Alphabet, Label
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.core.simulation import Verdict
+from repro.core.verification import bottom_sccs, ConfigurationGraph
+
+
+ResponseFunction = Callable[[State], State]
+
+
+@dataclass(frozen=True)
+class WeakBroadcast:
+    """A weak broadcast transition ``q ↦ new_state, response``."""
+
+    trigger: State
+    new_state: State
+    response: ResponseFunction
+    name: str = ""
+
+    def apply_response(self, state: State) -> State:
+        return self.response(state)
+
+
+@dataclass
+class BroadcastMachine:
+    """A distributed machine extended with weak broadcast transitions.
+
+    ``broadcasts`` maps each broadcast-initiating state to its (unique) weak
+    broadcast, following the paper's convention that ``B`` maps ``Q_B`` into
+    ``Q × Q^Q``.  Neighbourhood transitions are given by ``delta`` exactly as
+    for plain machines; agents in a broadcast-initiating state never execute
+    neighbourhood transitions (Definition 4.5 removes them from the
+    selection).
+    """
+
+    alphabet: Alphabet
+    beta: int
+    init: Callable[[Label], State]
+    delta: Callable[[State, Neighborhood], State]
+    broadcasts: Mapping[State, WeakBroadcast]
+    accepting: Iterable[State] | Callable[[State], bool] | None = None
+    rejecting: Iterable[State] | Callable[[State], bool] | None = None
+    name: str = "broadcast-machine"
+
+    def __post_init__(self) -> None:
+        self._accepting = _predicate(self.accepting)
+        self._rejecting = _predicate(self.rejecting)
+        for trigger, broadcast in self.broadcasts.items():
+            if broadcast.trigger != trigger:
+                raise ValueError(
+                    f"broadcast registered under {trigger!r} has trigger {broadcast.trigger!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    def is_initiating(self, state: State) -> bool:
+        return state in self.broadcasts
+
+    def is_accepting(self, state: State) -> bool:
+        return self._accepting(state)
+
+    def is_rejecting(self, state: State) -> bool:
+        return self._rejecting(state)
+
+    def initial_configuration(self, graph: LabeledGraph) -> Configuration:
+        return tuple(self.init(graph.label_of(v)) for v in graph.nodes())
+
+    # ------------------------------------------------------------------ #
+    # Operational semantics
+    # ------------------------------------------------------------------ #
+    def neighborhood_step(
+        self, graph: LabeledGraph, configuration: Configuration, node: Node
+    ) -> Configuration:
+        """One neighbourhood transition of a single (non-initiating) node.
+
+        Following Definition 4.5, nodes currently in a broadcast-initiating
+        state are removed from the selection, so asking them to do a
+        neighbourhood step is a no-op.
+        """
+        state = configuration[node]
+        if self.is_initiating(state):
+            return configuration
+        counts: dict[State, int] = {}
+        for neighbour in graph.neighbors(node):
+            neighbour_state = configuration[neighbour]
+            counts[neighbour_state] = counts.get(neighbour_state, 0) + 1
+        neighborhood = Neighborhood(counts, self.beta, total=graph.degree(node))
+        new_state = self.delta(state, neighborhood)
+        if new_state == state:
+            return configuration
+        updated = list(configuration)
+        updated[node] = new_state
+        return tuple(updated)
+
+    def broadcast_step(
+        self,
+        configuration: Configuration,
+        initiators: Iterable[Node],
+        signal_of: Mapping[Node, Node] | None = None,
+    ) -> Configuration:
+        """One weak-broadcast step.
+
+        ``initiators`` is the set of nodes initiating (all must currently be
+        in a broadcast-initiating state); ``signal_of`` maps every
+        non-initiator to the initiator whose signal it receives.  When
+        ``signal_of`` is ``None`` every non-initiator receives the signal of
+        the first initiator (lowest node id) — the deterministic choice used
+        by the synchronous experiments; the exact decision procedure
+        enumerates all assignments instead.
+        """
+        initiator_list = sorted(set(initiators))
+        if not initiator_list:
+            return configuration
+        for node in initiator_list:
+            if not self.is_initiating(configuration[node]):
+                raise ValueError(f"node {node} is not in a broadcast-initiating state")
+        updated = list(configuration)
+        for node in initiator_list:
+            updated[node] = self.broadcasts[configuration[node]].new_state
+        for node in range(len(configuration)):
+            if node in initiator_list:
+                continue
+            source = initiator_list[0] if signal_of is None else signal_of[node]
+            broadcast = self.broadcasts[configuration[source]]
+            updated[node] = broadcast.apply_response(configuration[node])
+        return tuple(updated)
+
+    def successors(
+        self, graph: LabeledGraph, configuration: Configuration, max_initiator_sets: int = 64
+    ) -> list[Configuration]:
+        """All successor configurations (used by the exact decision procedure).
+
+        Successors consist of all single-node neighbourhood steps plus all
+        weak-broadcast steps over every non-empty independent set of
+        initiating nodes and every assignment of signals to non-initiators.
+        The enumeration of initiator sets is capped to keep the procedure
+        usable; the cap is never hit on the small witness graphs used in
+        tests.
+        """
+        result: set[Configuration] = set()
+        for node in graph.nodes():
+            nxt = self.neighborhood_step(graph, configuration, node)
+            if nxt != configuration:
+                result.add(nxt)
+        initiating_nodes = [
+            v for v in graph.nodes() if self.is_initiating(configuration[v])
+        ]
+        for initiator_set in _independent_subsets(graph, initiating_nodes, max_initiator_sets):
+            others = [v for v in graph.nodes() if v not in initiator_set]
+            if not others:
+                result.add(self.broadcast_step(configuration, initiator_set))
+                continue
+            for assignment in product(initiator_set, repeat=len(others)):
+                signal_of = dict(zip(others, assignment))
+                result.add(
+                    self.broadcast_step(configuration, initiator_set, signal_of)
+                )
+        return sorted(result, key=repr)
+
+    # ------------------------------------------------------------------ #
+    # Decision
+    # ------------------------------------------------------------------ #
+    def decide_pseudo_stochastic(
+        self, graph: LabeledGraph, max_configurations: int = 100_000
+    ) -> Verdict:
+        """Exact decision under pseudo-stochastic fairness (bottom-SCC analysis)."""
+        initial = self.initial_configuration(graph)
+        seen = {initial}
+        order = [initial]
+        successors: dict[Configuration, tuple[Configuration, ...]] = {}
+        frontier = [initial]
+        while frontier:
+            configuration = frontier.pop()
+            succ = tuple(self.successors(graph, configuration))
+            successors[configuration] = succ if succ else (configuration,)
+            for nxt in successors[configuration]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+                    if len(seen) > max_configurations:
+                        raise RuntimeError("configuration space too large")
+        config_graph = ConfigurationGraph(
+            initial=initial,
+            configurations=order,
+            successors=successors,
+            edge_selections={},
+        )
+        bottoms = bottom_sccs(config_graph)
+        all_accepting = all(
+            all(self.is_accepting(s) for s in configuration)
+            for component in bottoms
+            for configuration in component
+        )
+        all_rejecting = all(
+            all(self.is_rejecting(s) for s in configuration)
+            for component in bottoms
+            for configuration in component
+        )
+        if all_accepting and not all_rejecting:
+            return Verdict.ACCEPT
+        if all_rejecting and not all_accepting:
+            return Verdict.REJECT
+        return Verdict.INCONSISTENT
+
+    def simulate(
+        self,
+        graph: LabeledGraph,
+        max_steps: int = 5_000,
+        broadcast_probability: float = 0.3,
+        seed: int | None = None,
+    ) -> tuple[Verdict, int]:
+        """Monte-Carlo simulation with random fair-ish scheduling.
+
+        Returns the final consensus verdict (or UNDECIDED) and the number of
+        steps taken.  Each step is a neighbourhood step of a random node or,
+        with the given probability, a weak broadcast by a random non-empty
+        independent set of initiating nodes with random signal assignment.
+        """
+        rng = random.Random(seed)
+        configuration = self.initial_configuration(graph)
+        nodes = list(graph.nodes())
+        for step in range(1, max_steps + 1):
+            initiating = [v for v in nodes if self.is_initiating(configuration[v])]
+            do_broadcast = initiating and rng.random() < broadcast_probability
+            if do_broadcast:
+                chosen = _random_independent_subset(graph, initiating, rng)
+                others = [v for v in nodes if v not in chosen]
+                signal_of = {v: rng.choice(chosen) for v in others}
+                configuration = self.broadcast_step(configuration, chosen, signal_of)
+            else:
+                configuration = self.neighborhood_step(
+                    graph, configuration, rng.choice(nodes)
+                )
+            if all(self.is_accepting(s) for s in configuration):
+                # Quick convergence check: no enabled transition changes the verdict.
+                if not self._can_leave_consensus(graph, configuration, accepting=True):
+                    return Verdict.ACCEPT, step
+            if all(self.is_rejecting(s) for s in configuration):
+                if not self._can_leave_consensus(graph, configuration, accepting=False):
+                    return Verdict.REJECT, step
+        value = None
+        if all(self.is_accepting(s) for s in configuration):
+            value = Verdict.ACCEPT
+        elif all(self.is_rejecting(s) for s in configuration):
+            value = Verdict.REJECT
+        return (value or Verdict.UNDECIDED), max_steps
+
+    def _can_leave_consensus(
+        self, graph: LabeledGraph, configuration: Configuration, accepting: bool
+    ) -> bool:
+        test = self.is_accepting if accepting else self.is_rejecting
+        for nxt in self.successors(graph, configuration):
+            if not all(test(s) for s in nxt):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Helpers
+# ---------------------------------------------------------------------- #
+def _predicate(spec) -> Callable[[State], bool]:
+    if spec is None:
+        return lambda _s: False
+    if callable(spec):
+        return spec
+    members = set(spec)
+    return lambda s: s in members
+
+
+def _independent_subsets(
+    graph: LabeledGraph, candidates: list[Node], limit: int
+) -> list[list[Node]]:
+    """All non-empty independent subsets of ``candidates`` (up to ``limit``)."""
+    subsets: list[list[Node]] = []
+
+    def extend(index: int, chosen: list[Node]) -> None:
+        if len(subsets) >= limit:
+            return
+        if index == len(candidates):
+            if chosen:
+                subsets.append(list(chosen))
+            return
+        node = candidates[index]
+        if all(not graph.has_edge(node, other) for other in chosen):
+            chosen.append(node)
+            extend(index + 1, chosen)
+            chosen.pop()
+        extend(index + 1, chosen)
+
+    extend(0, [])
+    return subsets
+
+
+def _random_independent_subset(
+    graph: LabeledGraph, candidates: list[Node], rng: random.Random
+) -> list[Node]:
+    order = list(candidates)
+    rng.shuffle(order)
+    chosen: list[Node] = []
+    for node in order:
+        if all(not graph.has_edge(node, other) for other in chosen):
+            chosen.append(node)
+            if rng.random() < 0.5:
+                break
+    if not chosen:
+        chosen.append(order[0])
+    return chosen
+
+
+def response_from_mapping(mapping: Mapping[State, State]) -> ResponseFunction:
+    """Build a response function from a partial mapping; unmapped states stay put.
+
+    Matches the paper's notation ``f = {r ↦ f(r)}`` where identity mappings
+    may be omitted.
+    """
+    table = dict(mapping)
+
+    def response(state: State) -> State:
+        return table.get(state, state)
+
+    return response

@@ -1,0 +1,136 @@
+"""Generalised graph protocols, run extensions and reorderings (Defs. 4.1–4.3).
+
+The simulation lemmas of Section 4 are stated via two relations between runs:
+
+* **Extension** (Definition 4.1): a run ``π'`` over a larger state set ``Q'``
+  extends a run ``π`` over ``Q ⊆ Q'`` if there is a monotone ``g`` with
+  ``π(i) = π'(g(i))`` and every configuration between ``g(i)`` and
+  ``g(i+1)`` agrees with one of the two endpoints on all nodes that are in
+  ``Q``-states — i.e. the extension only inserts excursions through
+  *intermediate* states.
+* **Reordering** (Definition 4.2): a permutation of the non-silent steps of a
+  run that preserves the relative order of steps at adjacent (or identical)
+  nodes.  Reordered runs are indistinguishable to the nodes themselves
+  (Lemma B.1).
+
+These relations are what the tests and the Figure 2 benchmark check on
+concrete traces produced by the compiled automata: the compiled run, suitably
+reordered, must be an extension of a run of the extended model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.graphs import LabeledGraph, Node
+from repro.core.machine import State
+
+
+def configurations_agree_on_q(
+    first: Configuration,
+    second: Configuration,
+    is_original: Callable[[State], bool],
+) -> bool:
+    """The relation ``C1 ∼_Q C2``: agreement on every node that is in a
+    ``Q``-state in *both* configurations (Definition 4.1)."""
+    for a, b in zip(first, second):
+        if is_original(a) and is_original(b) and a != b:
+            return False
+    return True
+
+
+def is_extension(
+    extended_run: Sequence[Configuration],
+    base_run: Sequence[Configuration],
+    is_original: Callable[[State], bool],
+) -> bool:
+    """Check that ``extended_run`` is an extension of ``base_run``.
+
+    Both runs are finite prefixes; the check finds a monotone embedding ``g``
+    greedily and verifies the in-between condition of Definition 4.1.  The
+    greedy choice (map each base configuration to its earliest occurrence
+    after the previous image) is sound for the protocols in this library,
+    whose base configurations are exactly the all-phase-0 snapshots of the
+    compiled run.
+    """
+    if not base_run:
+        return True
+    g: list[int] = []
+    position = 0
+    for base_config in base_run:
+        found = None
+        for index in range(position, len(extended_run)):
+            if extended_run[index] == base_config:
+                found = index
+                break
+        if found is None:
+            return False
+        g.append(found)
+        position = found
+    # In-between condition.
+    for i in range(len(g) - 1):
+        lower, upper = g[i], g[i + 1]
+        for j in range(lower, upper + 1):
+            ok_lower = configurations_agree_on_q(
+                extended_run[j], extended_run[lower], is_original
+            )
+            ok_upper = configurations_agree_on_q(
+                extended_run[j], extended_run[upper], is_original
+            )
+            if not (ok_lower or ok_upper):
+                return False
+    return True
+
+
+def non_silent_steps(run: Sequence[Configuration]) -> list[int]:
+    """Indices ``i`` with ``run[i] != run[i+1]`` (the set ``I`` of Definition 4.2)."""
+    return [i for i in range(len(run) - 1) if run[i] != run[i + 1]]
+
+
+def is_valid_reordering(
+    graph: LabeledGraph,
+    original_selections: Sequence[Node],
+    reordered_selections: Sequence[Node],
+    mapping: dict[int, int],
+) -> bool:
+    """Check the side conditions of Definition 4.2 for a step permutation.
+
+    ``mapping`` sends original step indices to reordered step indices; it must
+    be injective, preserve the selected node, and preserve the relative order
+    of any two steps whose nodes are adjacent or identical.
+    """
+    if len(set(mapping.values())) != len(mapping):
+        return False
+    for i, fi in mapping.items():
+        if original_selections[i] != reordered_selections[fi]:
+            return False
+    indices = sorted(mapping)
+    for a_pos, i in enumerate(indices):
+        for j in indices[a_pos + 1 :]:
+            u, v = original_selections[i], original_selections[j]
+            if u == v or graph.has_edge(u, v):
+                if mapping[i] >= mapping[j]:
+                    return False
+    return True
+
+
+def project_run(
+    run: Sequence[Configuration],
+    is_original: Callable[[State], bool],
+    collapse_silent: bool = True,
+) -> list[Configuration]:
+    """The subsequence of configurations whose states are all original.
+
+    This is how the tests extract the simulated (base-model) run out of a
+    compiled-machine trace before comparing it against the extended-model
+    semantics.  Consecutive duplicates are collapsed unless requested
+    otherwise.
+    """
+    projected: list[Configuration] = []
+    for configuration in run:
+        if all(is_original(state) for state in configuration):
+            if collapse_silent and projected and projected[-1] == configuration:
+                continue
+            projected.append(configuration)
+    return projected

@@ -1,0 +1,287 @@
+"""Graph population protocols: rendez-vous transitions on graphs (Section 4.3).
+
+A graph population protocol is a pair ``(Q, δ)`` with ``δ : Q² → Q²``; a step
+selects an ordered pair of *adjacent* nodes ``(u, v)`` and applies
+``δ(C(u), C(v))`` to them.  Schedules are required to be pseudo-stochastic.
+This is exactly the model of Angluin et al. on network graphs [3] and the
+communication mechanism of classical population protocols; Lemma 4.10 shows
+that every graph population protocol is simulated by a DAF-automaton
+(:mod:`repro.extensions.rendezvous_sim`).
+
+The module provides the model, a Monte-Carlo simulator, an exact decision
+procedure under pseudo-stochastic fairness, and the stock protocols used by
+the experiments (token protocols, majority with movement, parity).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.graphs import LabeledGraph, Node
+from repro.core.labels import Alphabet, Label
+from repro.core.simulation import Verdict
+from repro.core.verification import ConfigurationGraph, bottom_sccs
+
+State = object
+Transition = Callable[[State, State], tuple[State, State]]
+
+
+@dataclass
+class GraphPopulationProtocol:
+    """A population protocol whose interactions are restricted to graph edges."""
+
+    alphabet: Alphabet
+    init: Callable[[Label], State]
+    delta: Transition
+    accepting: Iterable[State] | Callable[[State], bool] | None = None
+    rejecting: Iterable[State] | Callable[[State], bool] | None = None
+    name: str = "graph-population-protocol"
+
+    def __post_init__(self) -> None:
+        self._accepting = _predicate(self.accepting)
+        self._rejecting = _predicate(self.rejecting)
+
+    # ------------------------------------------------------------------ #
+    def is_accepting(self, state: State) -> bool:
+        return self._accepting(state)
+
+    def is_rejecting(self, state: State) -> bool:
+        return self._rejecting(state)
+
+    def initial_configuration(self, graph: LabeledGraph) -> Configuration:
+        return tuple(self.init(graph.label_of(v)) for v in graph.nodes())
+
+    def interact(
+        self, configuration: Configuration, initiator: Node, responder: Node
+    ) -> Configuration:
+        """Apply one rendez-vous interaction to an ordered pair of nodes."""
+        p, q = configuration[initiator], configuration[responder]
+        p2, q2 = self.delta(p, q)
+        if (p2, q2) == (p, q):
+            return configuration
+        updated = list(configuration)
+        updated[initiator] = p2
+        updated[responder] = q2
+        return tuple(updated)
+
+    def successors(
+        self, graph: LabeledGraph, configuration: Configuration
+    ) -> list[Configuration]:
+        """All successor configurations over ordered adjacent pairs."""
+        result: set[Configuration] = set()
+        for u, v in graph.edge_pairs():
+            result.add(self.interact(configuration, u, v))
+            result.add(self.interact(configuration, v, u))
+        result.discard(configuration)
+        return sorted(result, key=repr) or [configuration]
+
+    # ------------------------------------------------------------------ #
+    def decide_pseudo_stochastic(
+        self, graph: LabeledGraph, max_configurations: int = 100_000
+    ) -> Verdict:
+        """Exact decision under pseudo-stochastic fairness (bottom-SCC analysis)."""
+        initial = self.initial_configuration(graph)
+        seen = {initial}
+        order = [initial]
+        successors: dict[Configuration, tuple[Configuration, ...]] = {}
+        frontier = [initial]
+        while frontier:
+            configuration = frontier.pop()
+            succ = tuple(self.successors(graph, configuration))
+            successors[configuration] = succ
+            for nxt in succ:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+                    if len(seen) > max_configurations:
+                        raise RuntimeError("configuration space too large")
+        config_graph = ConfigurationGraph(
+            initial=initial, configurations=order, successors=successors, edge_selections={}
+        )
+        bottoms = bottom_sccs(config_graph)
+        all_accepting = all(
+            self.is_accepting(s)
+            for component in bottoms
+            for configuration in component
+            for s in configuration
+        )
+        all_rejecting = all(
+            self.is_rejecting(s)
+            for component in bottoms
+            for configuration in component
+            for s in configuration
+        )
+        if all_accepting and not all_rejecting:
+            return Verdict.ACCEPT
+        if all_rejecting and not all_accepting:
+            return Verdict.REJECT
+        return Verdict.INCONSISTENT
+
+    def simulate(
+        self, graph: LabeledGraph, max_steps: int = 20_000, seed: int | None = None
+    ) -> tuple[Verdict, int]:
+        """Monte-Carlo simulation with uniformly random adjacent pairs."""
+        rng = random.Random(seed)
+        configuration = self.initial_configuration(graph)
+        edges = graph.edge_pairs()
+        stable_for = 0
+        for step in range(1, max_steps + 1):
+            u, v = edges[rng.randrange(len(edges))]
+            if rng.random() < 0.5:
+                u, v = v, u
+            nxt = self.interact(configuration, u, v)
+            if nxt == configuration:
+                stable_for += 1
+            else:
+                stable_for = 0
+            configuration = nxt
+            if stable_for >= 50 * max(1, len(edges)):
+                break
+        if all(self.is_accepting(s) for s in configuration):
+            return Verdict.ACCEPT, step
+        if all(self.is_rejecting(s) for s in configuration):
+            return Verdict.REJECT, step
+        return Verdict.UNDECIDED, step
+
+
+def _predicate(spec) -> Callable[[State], bool]:
+    if spec is None:
+        return lambda _s: False
+    if callable(spec):
+        return spec
+    members = set(spec)
+    return lambda s: s in members
+
+
+def transition_table(table: Mapping[tuple[State, State], tuple[State, State]]) -> Transition:
+    """Build a δ function from a partial table; unlisted pairs are silent."""
+    rules = dict(table)
+
+    def delta(p: State, q: State) -> tuple[State, State]:
+        return rules.get((p, q), (p, q))
+
+    return delta
+
+
+# ---------------------------------------------------------------------- #
+# Stock protocols
+# ---------------------------------------------------------------------- #
+def token_protocol(alphabet: Alphabet) -> GraphPopulationProtocol:
+    """The protocol ``P_token`` of Lemma 5.1: collapse multiple leaders/tokens.
+
+    States ``{0, L, L', ⊥}`` with transitions ``(L, L) ↦ (0, ⊥)``,
+    ``(0, L) ↦ (L, 0)`` and ``(L, 0) ↦ (L', 0)``.  Every node starts as a
+    leader.
+    """
+    table = transition_table(
+        {
+            ("L", "L"): ("0", "BOT"),
+            ("0", "L"): ("L", "0"),
+            ("L", "0"): ("L'", "0"),
+        }
+    )
+    return GraphPopulationProtocol(
+        alphabet=alphabet,
+        init=lambda _label: "L",
+        delta=table,
+        accepting=None,
+        rejecting=None,
+        name="P_token",
+    )
+
+
+def majority_with_movement(
+    alphabet: Alphabet, first: Label = "a", second: Label = "b", strict: bool = True
+) -> GraphPopulationProtocol:
+    """Exact majority on connected graphs: cancellation plus token movement.
+
+    States: ``A``/``B`` (active votes), ``a``/``b`` (passive followers).
+    Transitions: active opposite votes cancel into followers of the
+    tie-breaking side; an active vote converts adjacent followers of the other
+    side; active votes *swap position* with followers of their own side so
+    that, under pseudo-stochastic scheduling, any two active votes eventually
+    become adjacent — which is what makes cancellation-based majority correct
+    on arbitrary connected graphs rather than only on cliques; and the
+    tie-breaking follower spreads over the other follower so that a tie (in
+    which all active votes cancel) still stabilises to a consensus.
+
+    With ``strict=True`` the protocol accepts iff strictly more nodes carry
+    ``first`` than ``second`` (ties rejected); with ``strict=False`` ties are
+    accepted.
+    """
+    tie_follower = "b" if strict else "a"
+    other_follower = "a" if strict else "b"
+    table = {
+        ("A", "B"): (tie_follower, tie_follower),
+        ("B", "A"): (tie_follower, tie_follower),
+        ("A", "b"): ("A", "a"),
+        ("b", "A"): ("a", "A"),
+        ("B", "a"): ("B", "b"),
+        ("a", "B"): ("b", "B"),
+        # Movement: an active token swaps places with a passive follower.
+        ("A", "a"): ("a", "A"),
+        ("B", "b"): ("b", "B"),
+        # Tie handling: after all active votes cancel, the tie-breaking
+        # follower overruns stale followers of the other side.
+        (tie_follower, other_follower): (tie_follower, tie_follower),
+        (other_follower, tie_follower): (tie_follower, tie_follower),
+    }
+
+    def init(label: Label) -> State:
+        if label == first:
+            return "A"
+        if label == second:
+            return "B"
+        return tie_follower
+
+    return GraphPopulationProtocol(
+        alphabet=alphabet,
+        init=init,
+        delta=transition_table(table),
+        accepting={"A", "a"},
+        rejecting={"B", "b"},
+        name=f"graph-majority({first} {'>' if strict else '≥'} {second})",
+    )
+
+
+def parity_protocol(alphabet: Alphabet, label: Label = "a") -> GraphPopulationProtocol:
+    """Whether the number of ``label`` nodes is odd: XOR accumulation with movement.
+
+    States ``(bit, active)`` where active tokens carry a parity bit; two
+    active tokens merge by XOR-ing; active tokens move by swapping with
+    passive ones; passive nodes copy the verdict of active neighbours.
+    """
+
+    def init(node_label: Label) -> State:
+        return ("active", 1 if node_label == label else 0)
+
+    def delta(p: State, q: State) -> tuple[State, State]:
+        p_kind, p_bit = p
+        q_kind, q_bit = q
+        if p_kind == "active" and q_kind == "active":
+            return ("active", (p_bit + q_bit) % 2), ("passive", (p_bit + q_bit) % 2)
+        if p_kind == "active" and q_kind == "passive":
+            # Move the token and refresh the passive node's opinion.
+            return ("passive", p_bit), ("active", p_bit)
+        if p_kind == "passive" and q_kind == "active":
+            return ("passive", q_bit), ("active", q_bit)
+        return p, q
+
+    def accepting(state: State) -> bool:
+        return state[1] == 1
+
+    def rejecting(state: State) -> bool:
+        return state[1] == 0
+
+    return GraphPopulationProtocol(
+        alphabet=alphabet,
+        init=init,
+        delta=delta,
+        accepting=accepting,
+        rejecting=rejecting,
+        name=f"graph-parity({label})",
+    )

@@ -1,0 +1,15 @@
+"""Population-protocol baselines (cliques) used for cross-checking verdicts."""
+
+from repro.population.majority import (
+    four_state_majority,
+    parity_population_protocol,
+    threshold_protocol,
+)
+from repro.population.protocol import PopulationProtocol
+
+__all__ = [
+    "PopulationProtocol",
+    "four_state_majority",
+    "parity_population_protocol",
+    "threshold_protocol",
+]

@@ -1,0 +1,122 @@
+"""Classical population-protocol baselines: majority, threshold, parity.
+
+These are the protocols the paper's related-work discussion contrasts with:
+standard population protocols (clique interactions, pseudo-stochastic
+fairness) compute exactly the semilinear predicates.  The experiments use
+them as the reference implementation when cross-checking the verdicts of the
+distributed-automata constructions on the same label counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import Alphabet, Label
+from repro.population.protocol import PopulationProtocol
+
+
+def four_state_majority(
+    alphabet: Alphabet, first: Label = "a", second: Label = "b", strict: bool = True
+) -> PopulationProtocol:
+    """The classical 4-state exact-majority protocol (cancel / convert).
+
+    Active votes ``A``/``B`` cancel into followers of the tie-breaking side;
+    surviving active votes convert followers of the other side.  On a clique
+    every pair can interact, so no movement transitions are needed.
+    """
+    tie_follower = "b" if strict else "a"
+    other_follower = "a" if strict else "b"
+
+    def init(label: Label) -> object:
+        if label == first:
+            return "A"
+        if label == second:
+            return "B"
+        return tie_follower
+
+    rules = {
+        ("A", "B"): (tie_follower, tie_follower),
+        ("B", "A"): (tie_follower, tie_follower),
+        ("A", "b"): ("A", "a"),
+        ("b", "A"): ("a", "A"),
+        ("B", "a"): ("B", "b"),
+        ("a", "B"): ("b", "B"),
+        (tie_follower, other_follower): (tie_follower, tie_follower),
+        (other_follower, tie_follower): (tie_follower, tie_follower),
+    }
+
+    def delta(p: object, q: object) -> tuple[object, object]:
+        return rules.get((p, q), (p, q))
+
+    return PopulationProtocol(
+        alphabet=alphabet,
+        init=init,
+        delta=delta,
+        accepting={"A", "a"},
+        rejecting={"B", "b"},
+        name=f"pp-majority({first} {'>' if strict else '≥'} {second})",
+    )
+
+
+def threshold_protocol(alphabet: Alphabet, label: Label, k: int) -> PopulationProtocol:
+    """``x_label ≥ k`` by token accumulation (values capped at ``k``).
+
+    Each agent carrying the target label starts with one token; interactions
+    move all tokens (up to the cap) onto the initiator; an agent that
+    accumulates ``k`` tokens switches to a flooding "accept" state.
+    """
+    if k < 1:
+        raise ValueError("threshold must be at least 1")
+
+    def init(node_label: Label) -> object:
+        return ("count", 1 if node_label == label else 0)
+
+    def delta(p: object, q: object) -> tuple[object, object]:
+        if p == "accept" or q == "accept":
+            return "accept", "accept"
+        p_tokens = p[1]
+        q_tokens = q[1]
+        total = p_tokens + q_tokens
+        if total >= k:
+            return "accept", "accept"
+        return ("count", total), ("count", 0)
+
+    def accepting(state: object) -> bool:
+        return state == "accept" or (isinstance(state, tuple) and state[1] >= k)
+
+    def rejecting(state: object) -> bool:
+        return not accepting(state)
+
+    return PopulationProtocol(
+        alphabet=alphabet,
+        init=init,
+        delta=delta,
+        accepting=accepting,
+        rejecting=rejecting,
+        name=f"pp-threshold({label} ≥ {k})",
+    )
+
+
+def parity_population_protocol(alphabet: Alphabet, label: Label = "a") -> PopulationProtocol:
+    """Whether the number of ``label`` agents is odd (a non-threshold semilinear predicate)."""
+
+    def init(node_label: Label) -> object:
+        return ("leader", 1 if node_label == label else 0)
+
+    def delta(p: object, q: object) -> tuple[object, object]:
+        p_kind, p_bit = p
+        q_kind, q_bit = q
+        if p_kind == "leader" and q_kind == "leader":
+            return ("leader", (p_bit + q_bit) % 2), ("follower", (p_bit + q_bit) % 2)
+        if p_kind == "leader":
+            return ("leader", p_bit), ("follower", p_bit)
+        if q_kind == "leader":
+            return ("follower", q_bit), ("leader", q_bit)
+        return p, q
+
+    return PopulationProtocol(
+        alphabet=alphabet,
+        init=init,
+        delta=delta,
+        accepting=lambda s: s[1] == 1,
+        rejecting=lambda s: s[1] == 0,
+        name=f"pp-parity({label})",
+    )

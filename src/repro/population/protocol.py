@@ -1,0 +1,170 @@
+"""Standard population protocols on cliques (the baseline substrate).
+
+Classical population protocols are the special case of graph population
+protocols in which the interaction graph is a clique: any ordered pair of
+distinct agents may interact.  Angluin et al. showed they compute exactly the
+semilinear predicates; the paper contrasts this with the NL power of
+DAF-automata and the NSPACE(n) power on bounded-degree graphs.
+
+Because agents are indistinguishable, a configuration is just a multiset of
+states; this module exploits that and represents configurations as sorted
+count vectors, which makes the exact decision procedure dramatically smaller
+than the per-node representation (it is the same "store only the counts"
+observation that the proof of Lemma 5.1 uses to place DAF inside NL).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.labels import Alphabet, Label, LabelCount
+from repro.core.simulation import Verdict
+
+State = object
+PopulationConfiguration = tuple[tuple[State, int], ...]
+
+
+def _normalise(counts: Mapping[State, int]) -> PopulationConfiguration:
+    return tuple(sorted(((s, c) for s, c in counts.items() if c > 0), key=repr))
+
+
+@dataclass
+class PopulationProtocol:
+    """A population protocol ``(Q, δ, I, O)`` with clique interactions."""
+
+    alphabet: Alphabet
+    init: Callable[[Label], State]
+    delta: Callable[[State, State], tuple[State, State]]
+    accepting: Iterable[State] | Callable[[State], bool] | None = None
+    rejecting: Iterable[State] | Callable[[State], bool] | None = None
+    name: str = "population-protocol"
+
+    def __post_init__(self) -> None:
+        self._accepting = _predicate(self.accepting)
+        self._rejecting = _predicate(self.rejecting)
+
+    def is_accepting(self, state: State) -> bool:
+        return self._accepting(state)
+
+    def is_rejecting(self, state: State) -> bool:
+        return self._rejecting(state)
+
+    # ------------------------------------------------------------------ #
+    def initial_configuration(self, count: LabelCount) -> PopulationConfiguration:
+        states: dict[State, int] = {}
+        for label, number in count:
+            if number == 0:
+                continue
+            state = self.init(label)
+            states[state] = states.get(state, 0) + number
+        return _normalise(states)
+
+    def successors(
+        self, configuration: PopulationConfiguration
+    ) -> list[PopulationConfiguration]:
+        """All configurations reachable in one interaction."""
+        counts = dict(configuration)
+        result: set[PopulationConfiguration] = set()
+        states = list(counts)
+        for p in states:
+            for q in states:
+                if p == q and counts[p] < 2:
+                    continue
+                p2, q2 = self.delta(p, q)
+                if (p2, q2) == (p, q):
+                    continue
+                updated = dict(counts)
+                updated[p] -= 1
+                updated[q] = updated.get(q, 0) - 1
+                updated[p2] = updated.get(p2, 0) + 1
+                updated[q2] = updated.get(q2, 0) + 1
+                result.add(_normalise(updated))
+        return sorted(result, key=repr) or [configuration]
+
+    # ------------------------------------------------------------------ #
+    def decide(self, count: LabelCount, max_configurations: int = 200_000) -> Verdict:
+        """Exact decision under global (pseudo-stochastic) fairness.
+
+        The protocol stabilises to the verdict of the bottom SCCs of the
+        reachable (count-vector) configuration graph, exactly as for the
+        graph models.
+        """
+        initial = self.initial_configuration(count)
+        seen = {initial}
+        order = [initial]
+        successors: dict[PopulationConfiguration, tuple[PopulationConfiguration, ...]] = {}
+        frontier = [initial]
+        while frontier:
+            configuration = frontier.pop()
+            succ = tuple(self.successors(configuration))
+            successors[configuration] = succ
+            for nxt in succ:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+                    if len(seen) > max_configurations:
+                        raise RuntimeError("configuration space too large")
+        # Bottom SCC analysis on the multiset configuration graph.
+        from repro.core.verification import ConfigurationGraph, bottom_sccs
+
+        config_graph = ConfigurationGraph(
+            initial=initial, configurations=order, successors=successors, edge_selections={}
+        )
+        bottoms = bottom_sccs(config_graph)
+        all_accepting = all(
+            self.is_accepting(state)
+            for component in bottoms
+            for configuration in component
+            for state, number in configuration
+        )
+        all_rejecting = all(
+            self.is_rejecting(state)
+            for component in bottoms
+            for configuration in component
+            for state, number in configuration
+        )
+        if all_accepting and not all_rejecting:
+            return Verdict.ACCEPT
+        if all_rejecting and not all_accepting:
+            return Verdict.REJECT
+        return Verdict.INCONSISTENT
+
+    def simulate(
+        self, count: LabelCount, max_steps: int = 50_000, seed: int | None = None
+    ) -> tuple[Verdict, int]:
+        """Monte-Carlo simulation with uniformly random interacting pairs."""
+        rng = random.Random(seed)
+        agents: list[State] = []
+        for label, number in count:
+            agents.extend([self.init(label)] * number)
+        n = len(agents)
+        if n < 2:
+            raise ValueError("population protocols need at least two agents")
+        for step in range(1, max_steps + 1):
+            i = rng.randrange(n)
+            j = rng.randrange(n - 1)
+            if j >= i:
+                j += 1
+            agents[i], agents[j] = self.delta(agents[i], agents[j])
+            if step % (10 * n) == 0:
+                if all(self.is_accepting(s) for s in agents):
+                    return Verdict.ACCEPT, step
+                if all(self.is_rejecting(s) for s in agents):
+                    return Verdict.REJECT, step
+        if all(self.is_accepting(s) for s in agents):
+            return Verdict.ACCEPT, max_steps
+        if all(self.is_rejecting(s) for s in agents):
+            return Verdict.REJECT, max_steps
+        return Verdict.UNDECIDED, max_steps
+
+
+def _predicate(spec) -> Callable[[State], bool]:
+    if spec is None:
+        return lambda _s: False
+    if callable(spec):
+        return spec
+    members = set(spec)
+    return lambda s: s in members

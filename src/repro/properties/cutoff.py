@@ -1,0 +1,146 @@
+"""Cutoff properties and empirical membership checks for the Figure 1 classes.
+
+The middle panel of Figure 1 characterises decision power in terms of
+
+* ``Trivial``    — always true or always false,
+* ``Cutoff(1)``  — ``ϕ(L) = ϕ(⌈L⌉_1)``: only the *support* of the label count
+  matters (which labels occur at all),
+* ``Cutoff``     — ``ϕ(L) = ϕ(⌈L⌉_K)`` for some finite K,
+* ``NL``         — decidable in nondeterministic logarithmic space.
+
+Membership of an arbitrary predicate in ``Cutoff`` is undecidable in general
+(the predicate is an arbitrary function), so this module provides two things:
+
+1. *Constructive* cutoff properties (:class:`CutoffProperty`) whose defining
+   function manifestly only looks at the cutoff — these are the inputs to the
+   dAf / dAF constructions.
+2. *Empirical* checks (:func:`admits_cutoff_up_to`, :func:`is_cutoff_one`,
+   :func:`is_trivial_up_to`) that test the defining equation over a finite
+   sweep of label counts — exactly what the Figure 1 experiments need in
+   order to confirm, e.g., that majority admits no cutoff below the sweep
+   bound while thresholds ``x ≥ k`` admit cutoff ``k``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.labels import Alphabet, LabelCount, enumerate_label_counts
+from repro.properties.base import LabellingProperty
+
+
+@dataclass(repr=False)
+class CutoffProperty(LabellingProperty):
+    """A property of the form ``ϕ(L) = f(⌈L⌉_K)``.
+
+    The function ``f`` is given on cutoff vectors; by construction the
+    property is in ``Cutoff`` with bound ``K`` (and in ``Cutoff(1)`` when
+    ``K = 1``).
+    """
+
+    alphabet: Alphabet
+    bound: int
+    function: Callable[[LabelCount], bool]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError("cutoff bound must be at least 1")
+        if not self.name:
+            self.name = f"cutoff({self.bound})-property"
+
+    def evaluate(self, count: LabelCount) -> bool:
+        return bool(self.function(count.cutoff(self.bound)))
+
+
+def support_property(
+    alphabet: Alphabet, required: set[str], forbidden: set[str] | None = None
+) -> CutoffProperty:
+    """The Cutoff(1) property "all labels in ``required`` occur, none in ``forbidden``"."""
+    forbidden = forbidden or set()
+
+    def check(cut: LabelCount) -> bool:
+        support = cut.support()
+        return required.issubset(support) and not (forbidden & support)
+
+    req = ",".join(sorted(required)) or "∅"
+    forb = ",".join(sorted(forbidden)) or "∅"
+    return CutoffProperty(
+        alphabet=alphabet,
+        bound=1,
+        function=check,
+        name=f"support⊇{{{req}}}, ∩{{{forb}}}=∅",
+    )
+
+
+def cutoff_table_property(
+    alphabet: Alphabet, bound: int, accepted: set[tuple[int, ...]], name: str = ""
+) -> CutoffProperty:
+    """A Cutoff(K) property given by the explicit set of accepted cutoff vectors.
+
+    This mirrors the proof of Proposition C.6, which writes an arbitrary
+    Cutoff predicate as a disjunction over the accepted elements of
+    ``[K]^Λ``.
+    """
+
+    def check(cut: LabelCount) -> bool:
+        return cut.as_tuple() in accepted
+
+    return CutoffProperty(
+        alphabet=alphabet,
+        bound=bound,
+        function=check,
+        name=name or f"table-cutoff({bound})",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Empirical membership checks
+# ---------------------------------------------------------------------- #
+def admits_cutoff_at(
+    prop: LabellingProperty, bound: int, max_per_label: int, min_total: int = 1
+) -> bool:
+    """Whether ``ϕ(L) = ϕ(⌈L⌉_bound)`` holds for every L in the finite sweep."""
+    for count in enumerate_label_counts(prop.alphabet, max_per_label, min_total):
+        if prop.evaluate(count) != prop.evaluate(count.cutoff(bound)):
+            return False
+    return True
+
+
+def admits_cutoff_up_to(
+    prop: LabellingProperty, max_bound: int, max_per_label: int, min_total: int = 1
+) -> int | None:
+    """The smallest cutoff bound ≤ ``max_bound`` consistent with the sweep, or None.
+
+    ``None`` is evidence (not proof) that the property admits no cutoff —
+    e.g. majority fails every bound as soon as ``max_per_label > bound``.
+    """
+    for bound in range(1, max_bound + 1):
+        if admits_cutoff_at(prop, bound, max_per_label, min_total):
+            return bound
+    return None
+
+
+def is_cutoff_one(prop: LabellingProperty, max_per_label: int, min_total: int = 1) -> bool:
+    """Empirical Cutoff(1) membership over the sweep."""
+    return admits_cutoff_at(prop, 1, max_per_label, min_total)
+
+
+def is_trivial_up_to(prop: LabellingProperty, max_per_label: int, min_total: int = 1) -> bool:
+    """Whether the property is constant over the finite sweep."""
+    values = {
+        prop.evaluate(count)
+        for count in enumerate_label_counts(prop.alphabet, max_per_label, min_total)
+    }
+    return len(values) <= 1
+
+
+def counterexample_to_cutoff(
+    prop: LabellingProperty, bound: int, max_per_label: int, min_total: int = 1
+) -> LabelCount | None:
+    """A label count witnessing ``ϕ(L) ≠ ϕ(⌈L⌉_bound)``, if one exists in the sweep."""
+    for count in enumerate_label_counts(prop.alphabet, max_per_label, min_total):
+        if prop.evaluate(count) != prop.evaluate(count.cutoff(bound)):
+            return count
+    return None

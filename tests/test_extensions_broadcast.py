@@ -1,0 +1,141 @@
+"""Tests for weak broadcasts and the Lemma 4.7 three-phase compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import automaton
+from repro.core.graphs import cycle_graph, line_graph, star_graph
+from repro.core.labels import Alphabet
+from repro.core.scheduler import RandomExclusiveSchedule
+from repro.core.simulation import SimulationEngine, Verdict
+from repro.core.verification import decide
+from repro.extensions.broadcast import BroadcastMachine, WeakBroadcast, response_from_mapping
+from repro.extensions.broadcast_sim import (
+    compile_broadcasts,
+    is_phase_state,
+    phase_of,
+    simulated_state,
+)
+from repro.extensions.generalized import project_run
+
+
+@pytest.fixture
+def ab():
+    return Alphabet.of("a", "b")
+
+
+def example_4_6(ab) -> BroadcastMachine:
+    """The dAF automaton with weak broadcasts of Example 4.6."""
+
+    def delta(state, neighborhood):
+        if state == "x" and neighborhood.has("a"):
+            return "a"
+        return state
+
+    return BroadcastMachine(
+        alphabet=ab,
+        beta=1,
+        init=lambda label: "a" if label == "a" else "b",
+        delta=delta,
+        broadcasts={
+            "a": WeakBroadcast("a", "a", response_from_mapping({"x": "a"}), "a-bc"),
+            "b": WeakBroadcast("b", "b", response_from_mapping({"b": "a", "a": "x"}), "b-bc"),
+        },
+        accepting={"a"},
+        rejecting={"b", "x"},
+        name="example-4.6",
+    )
+
+
+class TestBroadcastSemantics:
+    def test_broadcast_step_single_initiator(self, ab):
+        machine = example_4_6(ab)
+        g = line_graph(ab, ["b", "a", "a", "a", "b"])
+        config = machine.initial_configuration(g)
+        after = machine.broadcast_step(config, [0])
+        # Initiator 0 stays 'b'; everyone else applies {b↦a, a↦x}.
+        assert after == ("b", "x", "x", "x", "a")
+
+    def test_broadcast_step_multiple_initiators(self, ab):
+        machine = example_4_6(ab)
+        g = line_graph(ab, ["b", "a", "a", "a", "b"])
+        config = machine.initial_configuration(g)
+        # Both ends broadcast; every middle node receives exactly one of the
+        # two (identical) b-signals and reacts with {b↦a, a↦x}.
+        after = machine.broadcast_step(config, [0, 4], signal_of={1: 0, 2: 0, 3: 4})
+        assert after[0] == "b" and after[4] == "b"
+        assert after[1:4] == ("x", "x", "x")
+
+    def test_initiating_states_skip_neighbourhood_steps(self, ab):
+        machine = example_4_6(ab)
+        g = line_graph(ab, ["b", "a", "a"])
+        config = machine.initial_configuration(g)
+        assert machine.neighborhood_step(g, config, 0) == config
+
+    def test_broadcast_step_validates_initiators(self, ab):
+        machine = example_4_6(ab)
+        g = line_graph(ab, ["b", "a", "a"])
+        config = ("x", "a", "a")
+        with pytest.raises(ValueError):
+            machine.broadcast_step(config, [0])  # 'x' is not broadcast-initiating
+
+    def test_successors_contains_both_kinds_of_steps(self, ab):
+        machine = example_4_6(ab)
+        g = line_graph(ab, ["b", "a", "a"])
+        config = ("b", "x", "a")
+        succ = machine.successors(g, config)
+        assert any(s[1] == "a" for s in succ)  # neighbourhood transition x→a
+        assert len(succ) >= 2
+
+
+class TestThresholdBroadcastProtocol:
+    def test_exact_decision_at_broadcast_level(self, ab):
+        from repro.constructions.threshold_daf import threshold_broadcast_machine
+
+        machine = threshold_broadcast_machine(ab, "a", 2)
+        assert machine.decide_pseudo_stochastic(cycle_graph(ab, ["a", "a", "b"])) is Verdict.ACCEPT
+        assert machine.decide_pseudo_stochastic(cycle_graph(ab, ["a", "b", "b"])) is Verdict.REJECT
+
+    def test_simulation_agrees(self, ab):
+        from repro.constructions.threshold_daf import threshold_broadcast_machine
+
+        machine = threshold_broadcast_machine(ab, "a", 2)
+        verdict, _ = machine.simulate(cycle_graph(ab, ["a", "a", "b", "b"]), seed=5)
+        assert verdict is Verdict.ACCEPT
+
+
+class TestCompilation:
+    def test_phase_state_helpers(self, ab):
+        machine = compile_broadcasts(example_4_6(ab))
+        initial = machine.initial_state("a")
+        assert phase_of(initial) == 0
+        assert not is_phase_state(initial)
+        assert simulated_state(initial) == "a"
+
+    def test_compiled_machine_preserves_counting_bound(self, ab):
+        compiled = compile_broadcasts(example_4_6(ab))
+        assert compiled.beta == 1  # Lemma 4.7 preserves the class (here: non-counting)
+
+    def test_compiled_threshold_decides_exactly(self, ab):
+        """Integration: Lemma C.5 + Lemma 4.7 give a plain dAF threshold automaton."""
+        from repro.constructions.threshold_daf import threshold_daf_automaton
+
+        auto = threshold_daf_automaton(ab, "a", 2)
+        assert auto.machine.beta == 1
+        assert decide(auto, cycle_graph(ab, ["a", "a", "b"]), max_configurations=400_000).verdict is Verdict.ACCEPT
+        assert decide(auto, cycle_graph(ab, ["a", "b", "b"]), max_configurations=400_000).verdict is Verdict.REJECT
+        assert decide(auto, star_graph(ab, "b", ["a", "a", "b"]), max_configurations=400_000).verdict is Verdict.ACCEPT
+
+    def test_compiled_run_projects_to_base_configurations(self, ab):
+        """Every all-phase-0 snapshot of the compiled run is a configuration over Q."""
+        machine = example_4_6(ab)
+        compiled = compile_broadcasts(machine)
+        g = line_graph(ab, ["b", "a", "a", "a", "b"])
+        engine = SimulationEngine(max_steps=400, stability_window=400, record_trace=True)
+        result = engine.run_machine(compiled, g, RandomExclusiveSchedule(seed=9))
+        projected = project_run(result.trace, lambda s: not is_phase_state(s))
+        assert projected, "the run should pass through phase-0 snapshots"
+        base_states = {"a", "b", "x"}
+        for configuration in projected:
+            assert set(configuration) <= base_states

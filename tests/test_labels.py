@@ -1,0 +1,139 @@
+"""Unit and property-based tests for label counts and the cutoff function."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.labels import Alphabet, LabelCount, cutoff_equal, enumerate_label_counts
+
+
+@pytest.fixture
+def ab():
+    return Alphabet.of("a", "b")
+
+
+class TestAlphabet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Alphabet.of("a", "a")
+
+    def test_membership_and_index(self, ab):
+        assert "a" in ab
+        assert "z" not in ab
+        assert ab.index("b") == 1
+        assert len(ab) == 2
+
+
+class TestLabelCount:
+    def test_from_mapping_defaults_missing_to_zero(self, ab):
+        count = LabelCount.from_mapping(ab, {"a": 3})
+        assert count["a"] == 3
+        assert count["b"] == 0
+
+    def test_from_mapping_rejects_unknown_label(self, ab):
+        with pytest.raises(ValueError):
+            LabelCount.from_mapping(ab, {"z": 1})
+
+    def test_from_labels_counts(self, ab):
+        count = LabelCount.from_labels(ab, ["a", "b", "a", "a"])
+        assert count.as_dict() == {"a": 3, "b": 1}
+
+    def test_rejects_negative(self, ab):
+        with pytest.raises(ValueError):
+            LabelCount(ab, (-1, 0))
+
+    def test_total_and_support(self, ab):
+        count = LabelCount.from_mapping(ab, {"a": 2})
+        assert count.total() == 2
+        assert count.support() == frozenset({"a"})
+
+    def test_cutoff(self, ab):
+        count = LabelCount.from_mapping(ab, {"a": 5, "b": 1})
+        assert count.cutoff(2).as_dict() == {"a": 2, "b": 1}
+        assert count.cutoff(1).as_dict() == {"a": 1, "b": 1}
+
+    def test_scale_and_add(self, ab):
+        count = LabelCount.from_mapping(ab, {"a": 2, "b": 1})
+        assert (count * 3).as_dict() == {"a": 6, "b": 3}
+        assert count.add_label("b").as_dict() == {"a": 2, "b": 2}
+        assert (count + count).as_dict() == {"a": 4, "b": 2}
+
+    def test_dominates(self, ab):
+        big = LabelCount.from_mapping(ab, {"a": 3, "b": 2})
+        small = LabelCount.from_mapping(ab, {"a": 1, "b": 2})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_equality_and_hash(self, ab):
+        first = LabelCount.from_mapping(ab, {"a": 1, "b": 2})
+        second = LabelCount.from_labels(ab, ["b", "a", "b"])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_to_label_sequence_roundtrip(self, ab):
+        count = LabelCount.from_mapping(ab, {"a": 2, "b": 3})
+        assert LabelCount.from_labels(ab, count.to_label_sequence()) == count
+
+
+class TestEnumeration:
+    def test_enumeration_size(self, ab):
+        counts = enumerate_label_counts(ab, 2)
+        assert len(counts) == 9  # (2+1)^2
+
+    def test_min_total_filter(self, ab):
+        counts = enumerate_label_counts(ab, 2, min_total=3)
+        assert all(c.total() >= 3 for c in counts)
+        assert len(counts) == 3  # (1,2),(2,1),(2,2)
+
+
+# ---------------------------------------------------------------------- #
+# Property-based tests: the cutoff-function laws the proofs rely on
+# ---------------------------------------------------------------------- #
+counts_strategy = st.tuples(st.integers(0, 20), st.integers(0, 20))
+
+
+@given(counts_strategy, st.integers(1, 5))
+def test_cutoff_idempotent(values, beta):
+    ab = Alphabet.of("a", "b")
+    count = LabelCount(ab, values)
+    assert count.cutoff(beta).cutoff(beta) == count.cutoff(beta)
+
+
+@given(counts_strategy, st.integers(1, 5), st.integers(1, 5))
+def test_cutoff_monotone_composition(values, beta, gamma):
+    ab = Alphabet.of("a", "b")
+    count = LabelCount(ab, values)
+    smaller = min(beta, gamma)
+    assert count.cutoff(beta).cutoff(gamma) == count.cutoff(smaller)
+
+
+@given(counts_strategy, st.integers(1, 4))
+def test_scale_then_cutoff_identity_of_prop_c3(values, factor):
+    """The identity ``⌈λ·L⌉_λ = λ·⌈L⌉_1`` used in the proof of Proposition C.3."""
+    ab = Alphabet.of("a", "b")
+    count = LabelCount(ab, values)
+    assert count.scale(factor).cutoff(factor) == count.cutoff(1).scale(factor)
+
+
+@given(counts_strategy, counts_strategy, st.integers(1, 5))
+def test_cutoff_equal_is_equivalence_on_samples(first, second, beta):
+    ab = Alphabet.of("a", "b")
+    a = LabelCount(ab, first)
+    b = LabelCount(ab, second)
+    assert cutoff_equal(a, a, beta)
+    assert cutoff_equal(a, b, beta) == cutoff_equal(b, a, beta)
+
+
+@given(counts_strategy, st.integers(0, 4))
+def test_scale_preserves_support(values, factor):
+    ab = Alphabet.of("a", "b")
+    count = LabelCount(ab, values)
+    if factor > 0:
+        assert count.scale(factor).support() == count.support()
+    else:
+        assert count.scale(factor).support() == frozenset()

@@ -1,0 +1,105 @@
+"""Tests for the population-protocol baselines and cross-checks against properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import Alphabet, LabelCount
+from repro.core.simulation import Verdict
+from repro.population import (
+    PopulationProtocol,
+    four_state_majority,
+    parity_population_protocol,
+    threshold_protocol,
+)
+from repro.properties import at_least_k_property, majority_property, parity_property
+
+
+@pytest.fixture
+def ab():
+    return Alphabet.of("a", "b")
+
+
+def lc(ab, a, b):
+    return LabelCount.from_mapping(ab, {"a": a, "b": b})
+
+
+class TestPopulationSubstrate:
+    def test_initial_configuration_is_multiset(self, ab):
+        protocol = four_state_majority(ab)
+        config = protocol.initial_configuration(lc(ab, 2, 1))
+        assert dict(config) == {"A": 2, "B": 1}
+
+    def test_successors_conserve_population(self, ab):
+        protocol = four_state_majority(ab)
+        config = protocol.initial_configuration(lc(ab, 2, 2))
+        for successor in protocol.successors(config):
+            assert sum(count for _, count in successor) == 4
+
+    def test_requires_two_agents_for_simulation(self, ab):
+        protocol = four_state_majority(ab)
+        with pytest.raises(ValueError):
+            protocol.simulate(lc(ab, 1, 0))
+
+
+class TestMajorityBaseline:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [(3, 2, Verdict.ACCEPT), (2, 3, Verdict.REJECT), (2, 2, Verdict.REJECT), (4, 1, Verdict.ACCEPT)],
+    )
+    def test_exact_decision(self, ab, a, b, expected):
+        protocol = four_state_majority(ab)
+        assert protocol.decide(lc(ab, a, b)) is expected
+
+    def test_non_strict_variant_accepts_ties(self, ab):
+        protocol = four_state_majority(ab, strict=False)
+        assert protocol.decide(lc(ab, 2, 2)) is Verdict.ACCEPT
+
+    def test_simulation_agrees_with_exact(self, ab):
+        protocol = four_state_majority(ab)
+        verdict, _ = protocol.simulate(lc(ab, 6, 4), seed=1)
+        assert verdict is Verdict.ACCEPT
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_majority_property(self, a, b):
+        ab = Alphabet.of("a", "b")
+        protocol = four_state_majority(ab)
+        prop = majority_property(ab, strict=True)
+        verdict = protocol.decide(lc(ab, a, b))
+        assert verdict.as_bool() == prop(lc(ab, a, b))
+
+
+class TestThresholdAndParityBaselines:
+    @pytest.mark.parametrize("a, b, k", [(3, 1, 2), (1, 3, 2), (2, 2, 3), (4, 0, 4)])
+    def test_threshold_matches_property(self, ab, a, b, k):
+        protocol = threshold_protocol(ab, "a", k)
+        prop = at_least_k_property(ab, "a", k)
+        assert protocol.decide(lc(ab, a, b)).as_bool() == prop(lc(ab, a, b))
+
+    @pytest.mark.parametrize("a, b", [(1, 2), (2, 2), (3, 1), (4, 1), (0, 3)])
+    def test_parity_matches_property(self, ab, a, b):
+        protocol = parity_population_protocol(ab, "a")
+        prop = parity_property(ab, "a", even=False)
+        if a + b < 2:
+            pytest.skip("populations need two agents")
+        assert protocol.decide(lc(ab, a, b)).as_bool() == prop(lc(ab, a, b))
+
+
+class TestCrossModelAgreement:
+    """The same predicate evaluated by three independent engines must agree."""
+
+    def test_majority_three_ways(self, ab):
+        from repro.extensions.rendezvous import majority_with_movement
+        from repro.core.graphs import cycle_graph
+
+        pp = four_state_majority(ab)
+        gp = majority_with_movement(ab)
+        prop = majority_property(ab, strict=True)
+        for a, b in [(2, 1), (1, 2), (2, 2), (3, 2)]:
+            count = lc(ab, a, b)
+            expected = prop(count)
+            assert pp.decide(count).as_bool() == expected
+            graph = cycle_graph(ab, count.to_label_sequence())
+            assert gp.decide_pseudo_stochastic(graph).as_bool() == expected

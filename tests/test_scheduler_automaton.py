@@ -1,0 +1,176 @@
+"""Tests for schedulers, the class taxonomy and the Figure 1 hierarchy data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import ALL_CLASSES, AutomatonClass, DistributedAutomaton, automaton
+from repro.core.graphs import cycle_graph
+from repro.core.hierarchy import (
+    ARBITRARY_POWER,
+    BOUNDED_DEGREE_POWER,
+    COLLAPSE,
+    SEVEN_CLASSES,
+    PowerClass,
+    characterisation,
+    classes_deciding_majority,
+    full_table,
+    is_included,
+    members_of,
+    representative_of,
+)
+from repro.core.labels import Alphabet
+from repro.core.machine import DistributedMachine
+from repro.core.scheduler import (
+    Fairness,
+    RandomExclusiveSchedule,
+    RandomLiberalSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    SelectionMode,
+    StarvingSchedule,
+    SynchronousSchedule,
+    is_fair_prefix,
+    permitted_selections,
+)
+
+
+@pytest.fixture
+def ab():
+    return Alphabet.of("a", "b")
+
+
+@pytest.fixture
+def five_cycle(ab):
+    return cycle_graph(ab, ["a", "b", "a", "b", "a"])
+
+
+def dummy_machine(ab, beta=1):
+    return DistributedMachine(
+        alphabet=ab, beta=beta, init=lambda l: l, delta=lambda q, n: q, name="dummy"
+    )
+
+
+class TestSelections:
+    def test_synchronous_single_selection(self, five_cycle):
+        sels = permitted_selections(five_cycle, SelectionMode.SYNCHRONOUS)
+        assert sels == [frozenset(range(5))]
+
+    def test_exclusive_selections(self, five_cycle):
+        sels = permitted_selections(five_cycle, SelectionMode.EXCLUSIVE)
+        assert len(sels) == 5
+        assert all(len(s) == 1 for s in sels)
+
+    def test_liberal_selections(self, five_cycle):
+        sels = permitted_selections(five_cycle, SelectionMode.LIBERAL)
+        assert len(sels) == 2**5 - 1
+
+    def test_every_node_occurs_in_some_selection(self, five_cycle):
+        for mode in SelectionMode:
+            covered = set()
+            for selection in permitted_selections(five_cycle, mode):
+                covered |= selection
+            assert covered == set(five_cycle.nodes())
+
+
+class TestScheduleGenerators:
+    def test_synchronous_prefix(self, five_cycle):
+        prefix = SynchronousSchedule().prefix(five_cycle, 3)
+        assert prefix == [frozenset(range(5))] * 3
+
+    def test_round_robin_is_fair(self, five_cycle):
+        prefix = RoundRobinSchedule().prefix(five_cycle, 5)
+        assert is_fair_prefix(five_cycle, prefix)
+
+    def test_random_exclusive_is_eventually_fair(self, five_cycle):
+        prefix = RandomExclusiveSchedule(seed=7).prefix(five_cycle, 200)
+        assert is_fair_prefix(five_cycle, prefix)
+
+    def test_random_liberal_selections_nonempty(self, five_cycle):
+        prefix = RandomLiberalSchedule(seed=3).prefix(five_cycle, 50)
+        assert all(len(s) >= 1 for s in prefix)
+
+    def test_starving_schedule_still_selects_victim(self, five_cycle):
+        prefix = StarvingSchedule(victim=2, period=7).prefix(five_cycle, 100)
+        assert any(2 in s for s in prefix)
+        assert is_fair_prefix(five_cycle, prefix)
+
+    def test_reproducibility_with_seed(self, five_cycle):
+        a = RandomExclusiveSchedule(seed=11).prefix(five_cycle, 20)
+        b = RandomExclusiveSchedule(seed=11).prefix(five_cycle, 20)
+        assert a == b
+
+
+class TestAutomatonClass:
+    def test_parse_and_symbol_roundtrip(self):
+        for symbol in ("daf", "DAF", "dAf", "DaF"):
+            assert AutomatonClass.parse(symbol).symbol == symbol
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AutomatonClass.parse("xyz")
+        with pytest.raises(ValueError):
+            AutomatonClass.parse("DA")
+
+    def test_all_classes_has_eight_members(self):
+        assert len(ALL_CLASSES) == 8
+        assert len({c.symbol for c in ALL_CLASSES}) == 8
+
+    def test_strength_order(self):
+        assert AutomatonClass.parse("DAF").at_least_as_strong_as(AutomatonClass.parse("daf"))
+        assert not AutomatonClass.parse("dAf").at_least_as_strong_as(
+            AutomatonClass.parse("Daf")
+        )
+
+    def test_automaton_class_consistency_checks(self, ab):
+        with pytest.raises(ValueError):
+            automaton(dummy_machine(ab, beta=1), "DAF")
+        with pytest.raises(ValueError):
+            automaton(dummy_machine(ab, beta=2), "dAF")
+        auto = automaton(dummy_machine(ab, beta=2), "DAf")
+        assert auto.automaton_class.symbol == "DAf"
+
+    def test_with_selection(self, ab):
+        auto = automaton(dummy_machine(ab), "dAf")
+        sync = auto.with_selection(SelectionMode.SYNCHRONOUS)
+        assert sync.selection is SelectionMode.SYNCHRONOUS
+        assert sync.machine is auto.machine
+
+    def test_scheduler_degenerate_fairness(self):
+        sched = Scheduler(SelectionMode.SYNCHRONOUS, Fairness.ADVERSARIAL)
+        assert sched.is_degenerate_fairness
+
+
+class TestHierarchy:
+    def test_collapse_covers_all_eight_classes(self):
+        assert set(COLLAPSE) == {c.symbol for c in ALL_CLASSES}
+        assert set(COLLAPSE.values()) == set(SEVEN_CLASSES)
+
+    def test_daf_and_daF_collapse(self):
+        assert representative_of("daF") == "daf"
+        assert members_of("daf") == ("daF", "daf")
+
+    def test_characterisation_matches_figure1(self):
+        assert ARBITRARY_POWER["DAF"] is PowerClass.NL
+        assert ARBITRARY_POWER["dAF"] is PowerClass.CUTOFF
+        assert BOUNDED_DEGREE_POWER["dAF"] is PowerClass.NSPACE_N
+        assert characterisation("DAf").arbitrary is PowerClass.CUTOFF_1
+        assert characterisation("DAf").bounded_degree is PowerClass.ISM_BOUNDED
+
+    def test_only_daf_decides_majority_on_arbitrary_graphs(self):
+        assert classes_deciding_majority(bounded_degree=False) == ["DAF"]
+
+    def test_three_classes_decide_majority_on_bounded_degree(self):
+        assert classes_deciding_majority(bounded_degree=True) == ["DAf", "dAF", "DAF"]
+
+    def test_inclusion_lattice(self):
+        assert is_included("daf", "DAF")
+        assert is_included("dAf", "dAF")
+        assert not is_included("DAF", "daf")
+        assert is_included("Daf", "Daf")
+
+    def test_full_table_has_seven_rows(self):
+        table = full_table()
+        assert len(table) == 7
+        majority_rows = [row for row in table if row.can_decide_majority_arbitrary]
+        assert [row.representative for row in majority_rows] == ["DAF"]

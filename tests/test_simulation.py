@@ -1,0 +1,98 @@
+"""Tests for the Monte-Carlo simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import automaton
+from repro.core.graphs import cycle_graph, random_connected_graph
+from repro.core.labels import Alphabet
+from repro.core.machine import DistributedMachine
+from repro.core.scheduler import RandomExclusiveSchedule, RoundRobinSchedule, SynchronousSchedule
+from repro.core.simulation import SimulationEngine, Verdict, enabled_nodes, synchronous_trace
+
+
+@pytest.fixture
+def ab():
+    return Alphabet.of("a", "b")
+
+
+def flooding_machine(ab):
+    def init(label):
+        return "yes" if label == "a" else "no"
+
+    def delta(state, neighborhood):
+        if state == "no" and neighborhood.has("yes"):
+            return "yes"
+        return state
+
+    return DistributedMachine(
+        alphabet=ab, beta=1, init=init, delta=delta,
+        accepting={"yes"}, rejecting={"no"}, name="flood",
+    )
+
+
+class TestSimulationEngine:
+    def test_accepts_with_random_schedule(self, ab):
+        engine = SimulationEngine(max_steps=2000, stability_window=50)
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b", "b", "b"])
+        result = engine.run_machine(machine, g, RandomExclusiveSchedule(seed=1))
+        assert result.verdict is Verdict.ACCEPT
+        assert result.stabilised_at is not None
+
+    def test_rejects_without_a(self, ab):
+        engine = SimulationEngine(max_steps=500, stability_window=50)
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["b", "b", "b"])
+        result = engine.run_machine(machine, g, RoundRobinSchedule())
+        assert result.verdict is Verdict.REJECT
+
+    def test_trace_recording(self, ab):
+        engine = SimulationEngine(max_steps=50, stability_window=10, record_trace=True)
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b"])
+        result = engine.run_machine(machine, g, SynchronousSchedule())
+        assert result.trace is not None
+        assert result.trace[0] == ("yes", "no", "no")
+        assert result.trace[-1] == result.final_configuration
+
+    def test_run_automaton_picks_schedule(self, ab):
+        engine = SimulationEngine(max_steps=2000, stability_window=50)
+        auto = automaton(flooding_machine(ab), "dAF")
+        result = engine.run_automaton(auto, cycle_graph(ab, ["a", "b", "b"]), seed=3)
+        assert result.verdict is Verdict.ACCEPT
+
+    def test_majority_vote_agrees(self, ab):
+        engine = SimulationEngine(max_steps=2000, stability_window=50)
+        auto = automaton(flooding_machine(ab), "dAF")
+        verdict = engine.majority_vote(auto, cycle_graph(ab, ["a", "b", "b", "b"]))
+        assert verdict is Verdict.ACCEPT
+
+    def test_simulation_matches_exact_decision_on_random_graphs(self, ab):
+        from repro.core.verification import decide
+
+        engine = SimulationEngine(max_steps=3000, stability_window=60)
+        machine = flooding_machine(ab)
+        auto = automaton(machine, "dAF")
+        for seed in range(3):
+            labels = ["a" if seed == 0 else "b", "b", "b", "a", "b"]
+            g = random_connected_graph(ab, labels, max_degree=3, seed=seed)
+            exact = decide(auto, g).verdict
+            simulated = engine.run_automaton(auto, g, seed=seed).verdict
+            assert exact == simulated
+
+
+class TestHelpers:
+    def test_synchronous_trace_length(self, ab):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b"])
+        trace = synchronous_trace(machine, g, 4)
+        assert len(trace) == 5
+
+    def test_enabled_nodes(self, ab):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b"])
+        config = ("yes", "no", "no")
+        assert set(enabled_nodes(machine, g, config)) == {1, 2}
+        assert enabled_nodes(machine, g, ("yes", "yes", "yes")) == []
