@@ -1,0 +1,196 @@
+"""Simulation-backend scaling: count-based vs per-node on large cliques.
+
+The acceptance series for the backend architecture:
+
+* a 10,000-agent clique *majority* instance (local-majority dynamics, the
+  clique counterpart of the paper's majority workloads) simulated by the
+  count-based backend at least 20× faster than the per-node reference —
+  in practice the gap is 2–3 orders of magnitude, because a per-node step
+  on an ``n``-clique costs O(n) while a count-based step costs O(|Q|);
+* an exact end-to-end comparison at a size the per-node backend can still
+  finish, asserting the two backends reach the same verdict;
+* the batched Monte-Carlo runner with quorum early-stopping on a population
+  two orders of magnitude beyond the seed's experiments;
+* the count-vector population-protocol engine at 10⁴ agents.
+
+Populations this size need :class:`repro.core.graphs.ImplicitCliqueGraph`;
+an explicit 10⁴-node clique would materialise ~5·10⁷ edge objects.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    Alphabet,
+    DistributedMachine,
+    RandomExclusiveSchedule,
+    SimulationEngine,
+    Verdict,
+    implicit_clique_graph,
+)
+from repro.core.labels import LabelCount
+from repro.constructions import exists_label_machine
+from repro.population import threshold_protocol
+
+
+def local_majority_machine(alphabet: Alphabet, n: int) -> DistributedMachine:
+    """Adopt the majority state among the neighbours (clique majority).
+
+    On a clique every node sees the global counts minus itself, so with a
+    margin ≥ 2 the initial majority is invariant and the run stabilises once
+    every minority node has moved — a genuine majority instance that both
+    backends can simulate.  ``beta = n`` makes the counting effectively
+    uncapped, as the comparison needs true counts.
+    """
+
+    def delta(state, neighborhood):
+        a = neighborhood.count("a")
+        b = neighborhood.count("b")
+        if a > b:
+            return "a"
+        if b > a:
+            return "b"
+        return state
+
+    return DistributedMachine(
+        alphabet=alphabet,
+        beta=n,
+        init=lambda label: label,
+        delta=delta,
+        accepting={"a"},
+        rejecting={"b"},
+        name=f"clique-majority(n={n})",
+    )
+
+
+def compare_backends(
+    ab: Alphabet,
+    n: int,
+    a_count: int,
+    per_node_budget: int,
+    count_max_steps: int,
+    seed: int = 1,
+) -> dict:
+    """Time both backends on one majority instance; see the module docstring.
+
+    The per-node backend runs a fixed step budget (running it to
+    stabilisation at n=10⁴ would take minutes); its per-step cost times the
+    count backend's full trajectory length estimates the full per-node run.
+    """
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
+
+    count_engine = SimulationEngine(
+        max_steps=count_max_steps, stability_window=200, backend="count"
+    )
+    start = time.perf_counter()
+    count_run = count_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+    count_time = time.perf_counter() - start
+
+    per_node_engine = SimulationEngine(
+        max_steps=per_node_budget, stability_window=10**9, backend="per-node"
+    )
+    start = time.perf_counter()
+    per_node_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+    per_node_time = time.perf_counter() - start
+
+    per_node_step_cost = per_node_time / per_node_budget
+    estimated_full_per_node = per_node_step_cost * count_run.steps
+    return {
+        "n": n,
+        "verdict": count_run.verdict,
+        "count_steps": count_run.steps,
+        "count_time": count_time,
+        "per_node_budget": per_node_budget,
+        "per_node_time": per_node_time,
+        "speedup": estimated_full_per_node / max(count_time, 1e-9),
+    }
+
+
+def end_to_end_comparison(ab: Alphabet, n: int, a_count: int, seed: int = 2) -> dict:
+    """Both backends run the same instance to stabilisation (feasible n)."""
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
+    timings = {}
+    verdicts = {}
+    for backend in ("count", "per-node"):
+        engine = SimulationEngine(max_steps=200_000, stability_window=200, backend=backend)
+        start = time.perf_counter()
+        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+        timings[backend] = time.perf_counter() - start
+        verdicts[backend] = result.verdict
+    return {
+        "verdicts": verdicts,
+        "timings": timings,
+        "speedup": timings["per-node"] / max(timings["count"], 1e-9),
+    }
+
+
+def test_count_backend_10k_clique_majority_speedup(benchmark, ab):
+    """Acceptance criterion: ≥ 20× on a 10,000-agent clique majority instance."""
+    stats = benchmark.pedantic(
+        compare_backends,
+        args=(ab, 10_000, 5_500, 800, 400_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats["verdict"] is Verdict.ACCEPT
+    assert stats["speedup"] >= 20, f"only {stats['speedup']:.1f}x"
+    print(
+        f"\n[backends] n=10,000 clique majority: count backend finished "
+        f"{stats['count_steps']} steps in {stats['count_time']:.3f}s; per-node needs "
+        f"{stats['per_node_time']:.3f}s for just {stats['per_node_budget']} steps "
+        f"→ ≈{stats['speedup']:.0f}× faster end-to-end"
+    )
+
+
+def test_backends_agree_end_to_end(benchmark, ab):
+    """At a per-node-feasible size both backends stabilise to the same verdict."""
+    stats = benchmark.pedantic(
+        end_to_end_comparison, args=(ab, 600, 330), rounds=1, iterations=1
+    )
+    assert stats["verdicts"]["count"] is Verdict.ACCEPT
+    assert stats["verdicts"]["per-node"] is Verdict.ACCEPT
+    assert stats["speedup"] >= 20, f"only {stats['speedup']:.1f}x"
+    print(
+        f"\n[backends] n=600 end-to-end: per-node {stats['timings']['per-node']:.3f}s, "
+        f"count {stats['timings']['count']:.3f}s (≈{stats['speedup']:.0f}×), same verdict"
+    )
+
+
+def test_batched_runner_with_quorum(benchmark, ab):
+    """run_many on a 5,000-node implicit clique: quorum early-stop + stats."""
+    machine = exists_label_machine(ab, "a")
+    graph = implicit_clique_graph(ab, ["a"] * 5 + ["b"] * 4_995)
+    engine = SimulationEngine(max_steps=500_000, stability_window=200, backend="auto")
+
+    def run():
+        return engine.run_many(machine, graph, runs=20, base_seed=0, quorum=0.5)
+
+    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert batch.consensus is Verdict.ACCEPT
+    assert batch.stopped_early
+    print(f"\n[backends] batch on n=5,000 clique: {batch.summary()}")
+
+
+def test_population_count_engine_10k_agents(benchmark, ab):
+    """The population-protocol count engine at 10⁴ agents (threshold a ≥ 3)."""
+    protocol = threshold_protocol(ab, "a", 3)
+    count = LabelCount.from_mapping(ab, {"a": 5_000, "b": 5_000})
+
+    def run():
+        start = time.perf_counter()
+        verdict, steps = protocol.simulate(
+            count, max_steps=20_000_000, seed=3, method="counts"
+        )
+        return verdict, steps, time.perf_counter() - start
+
+    verdict, steps, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict is Verdict.ACCEPT
+    print(
+        f"\n[backends] population threshold(a≥3), 10,000 agents: {verdict.value} "
+        f"after {steps} interactions in {elapsed:.3f}s (count engine)"
+    )

@@ -34,7 +34,10 @@ def main() -> None:
         star_graph(alphabet, "b", ["b", "a", "b"], name="star with one a-leaf"),
     ]
 
-    engine = SimulationEngine(max_steps=5_000, stability_window=100)
+    # backend="auto" picks the count-based engine on cliques and the
+    # per-node reference elsewhere; see examples/large_populations.py for
+    # the count backend at 10^4..10^6 agents.
+    engine = SimulationEngine(max_steps=5_000, stability_window=100, backend="auto")
     print("\n-- Monte-Carlo simulation under a random fair schedule --")
     for graph in graphs:
         result = engine.run_machine(

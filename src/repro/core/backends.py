@@ -1,0 +1,456 @@
+"""Pluggable simulation backends: per-node reference and count-based engines.
+
+The Monte-Carlo engine (:class:`repro.core.simulation.SimulationEngine`)
+delegates the actual run to a :class:`SimulationBackend`.  Two backends ship
+with the package:
+
+:class:`PerNodeBackend`
+    The reference implementation: configurations are tuples ``C : V → Q`` and
+    every step recomputes the selected nodes' neighbourhood views from the
+    adjacency structure.  Works for every machine, graph and schedule; cost
+    is ``O(deg(v))`` per selected node per step, which on an ``n``-clique is
+    ``O(n)`` per step.
+
+:class:`CountBasedBackend`
+    A vectorized engine for *cliques*, exploiting the symmetry that classical
+    population protocols exploit (and that the proof of Lemma 5.1 uses to
+    place DAF inside NL): on a clique every node in state ``q`` sees the same
+    neighbourhood — the global state counts minus itself — so a configuration
+    collapses to a count vector and a scheduler step to a weighted draw over
+    *states* instead of nodes.  Cost per active step is polynomial in the
+    number of *occupied* states (each of the ``k`` occupied states evaluates
+    a transition on a freshly built, sorted count view: ``O(k² log k)``) and
+    **independent of the population size**; transitions are memoised on the
+    (β-capped) neighbourhood view, and stretches of *silent* steps are
+    fast-forwarded by sampling
+    their length from a geometric distribution instead of drawing them one by
+    one.  The trajectory distribution over count vectors is exactly the one
+    the per-node backend induces (selecting a uniformly random node selects a
+    state ``q`` with probability ``count(q)/n``), so verdicts agree with the
+    reference backend and with the exact decision procedure wherever those
+    are defined — the differential test suite checks this on randomized
+    instances.
+
+Backends never touch the global :mod:`random` state; randomized schedules
+carry their own seed or injected ``random.Random``
+(:func:`repro.core.scheduler.resolve_rng`).
+
+A third evaluation strategy — *exact* decision via the configuration graph
+(:func:`repro.core.verification.decide`) — is not a backend: it quantifies
+over all fair schedules instead of sampling one, and is exponential in the
+number of nodes.  The scaling ladder is therefore: exact (≤ ~7 nodes),
+per-node (~10³ nodes), count-based (10⁴–10⁶ agents on cliques).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import (
+    Configuration,
+    configuration_from_counts,
+    consensus_of_counts,
+    consensus_value,
+    initial_configuration,
+    state_counts,
+    successor,
+)
+from repro.core.graphs import LabeledGraph
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.core.results import RunResult, Verdict
+from repro.core.scheduler import (
+    RandomExclusiveSchedule,
+    ScheduleGenerator,
+    SynchronousSchedule,
+    geometric_silent_steps,
+    resolve_rng,
+    weighted_index,
+)
+
+
+class BackendUnsupported(RuntimeError):
+    """Raised when a backend is asked to run an instance it cannot handle."""
+
+
+class SimulationBackend:
+    """Strategy interface for running one machine/graph/schedule instance.
+
+    ``run`` must implement the engine's stabilisation contract: execute at
+    most ``max_steps`` scheduler steps, declare the run stabilised once the
+    consensus value has persisted for ``stability_window`` consecutive steps
+    (or the configuration has been constant that long while in consensus),
+    and report the verdict of the final consensus value (``UNDECIDED`` if
+    there is none).
+    """
+
+    name: str = "abstract"
+
+    def supports(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        record_trace: bool = False,
+    ) -> bool:
+        """Whether this backend can faithfully run the given instance."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        *,
+        max_steps: int,
+        stability_window: int,
+        record_trace: bool = False,
+        start: Configuration | None = None,
+    ) -> RunResult:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------- #
+# Per-node reference backend
+# ---------------------------------------------------------------------- #
+@dataclass
+class PerNodeBackend(SimulationBackend):
+    """The reference backend: one neighbourhood evaluation per selected node."""
+
+    name = "per-node"
+
+    def supports(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        record_trace: bool = False,
+    ) -> bool:
+        return True
+
+    def run(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        *,
+        max_steps: int,
+        stability_window: int,
+        record_trace: bool = False,
+        start: Configuration | None = None,
+    ) -> RunResult:
+        configuration = (
+            start if start is not None else initial_configuration(machine, graph)
+        )
+        trace: list[Configuration] | None = [configuration] if record_trace else None
+        consensus_streak = 0
+        quiet_streak = 0
+        last_consensus = consensus_value(machine, configuration)
+        stabilised_at: int | None = None
+        step = 0
+        for selection in schedule.selections(graph):
+            if step >= max_steps:
+                break
+            step += 1
+            next_configuration = successor(machine, graph, configuration, selection)
+            if trace is not None:
+                trace.append(next_configuration)
+            if next_configuration == configuration:
+                quiet_streak += 1
+            else:
+                quiet_streak = 0
+            configuration = next_configuration
+            current = consensus_value(machine, configuration)
+            if current is not None and current == last_consensus:
+                consensus_streak += 1
+            else:
+                consensus_streak = 0
+            last_consensus = current
+            if consensus_streak >= stability_window:
+                stabilised_at = step
+                break
+            if quiet_streak >= stability_window and current is not None:
+                stabilised_at = step
+                break
+        final_value = consensus_value(machine, configuration)
+        return _result(final_value, step, configuration, stabilised_at, trace)
+
+
+# ---------------------------------------------------------------------- #
+# Count-based backend (cliques)
+# ---------------------------------------------------------------------- #
+@dataclass
+class CountBasedBackend(SimulationBackend):
+    """Count-vector simulation of cliques; per-step cost independent of population size.
+
+    Supported instances: the graph is a clique and the schedule is a
+    :class:`RandomExclusiveSchedule` or :class:`SynchronousSchedule` (the two
+    schedules whose count-level dynamics are well defined without node
+    identities).  Trace recording is unsupported — node identities are not
+    tracked, so a per-node trace cannot be reconstructed; the engine falls
+    back to the per-node backend when a trace is requested.
+    """
+
+    name = "count"
+
+    def supports(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        record_trace: bool = False,
+    ) -> bool:
+        # Exact-type check, not isinstance: the count engine never consults
+        # schedule.selections() (it resamples the same law at the count
+        # level), so a subclass overriding selections() must fall back to
+        # the per-node backend to keep its custom dynamics.
+        return (
+            not record_trace
+            and graph.is_clique()
+            and type(schedule) in (RandomExclusiveSchedule, SynchronousSchedule)
+        )
+
+    def run(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        *,
+        max_steps: int,
+        stability_window: int,
+        record_trace: bool = False,
+        start: Configuration | None = None,
+    ) -> RunResult:
+        if not self.supports(machine, graph, schedule, record_trace):
+            raise BackendUnsupported(
+                f"count-based backend needs a clique and a random-exclusive or "
+                f"synchronous schedule without trace recording "
+                f"(graph={graph.name!r}, schedule={type(schedule).__name__}, "
+                f"record_trace={record_trace})"
+            )
+        if start is not None:
+            counts = state_counts(start)
+        else:
+            counts = state_counts(
+                machine.initial_state(graph.label_of(v)) for v in graph.nodes()
+            )
+        runner = _CountRun(machine, graph.num_nodes, counts)
+        if isinstance(schedule, SynchronousSchedule):
+            return runner.run_synchronous(max_steps, stability_window)
+        rng = resolve_rng(schedule.rng, schedule.seed)
+        return runner.run_exclusive(rng, max_steps, stability_window)
+
+
+_MISS = object()  # cache-miss sentinel: None is a legitimate cached state
+
+
+class _CountRun:
+    """One count-vector run: memoised transitions plus streak bookkeeping."""
+
+    def __init__(self, machine: DistributedMachine, n: int, counts: dict[State, int]):
+        self.machine = machine
+        self.n = n
+        self.counts = {s: c for s, c in counts.items() if c > 0}
+        # Memoising on the β-capped view only pays off when the cap actually
+        # binds: with β ≥ n-1 every distinct count vector yields a distinct
+        # key, so the cache would grow with the trajectory and never hit.
+        self._memoise = machine.beta < n - 1
+        self._delta_cache: dict[tuple[State, Neighborhood], State] = {}
+        self.step = 0
+        self.consensus_streak = 0
+        self.stabilised_at: int | None = None
+        self.last_consensus = consensus_of_counts(machine, self.counts)
+
+    # -- transition evaluation ------------------------------------------ #
+    def _next_state(self, state: State) -> State:
+        """δ applied to a node in ``state``; memoised on the capped view."""
+        neighbour_counts = dict(self.counts)
+        neighbour_counts[state] -= 1
+        view = Neighborhood(neighbour_counts, self.machine.beta, total=self.n - 1)
+        if not self._memoise:
+            return self.machine.step(state, view)
+        key = (state, view)
+        cached = self._delta_cache.get(key, _MISS)
+        if cached is _MISS:
+            cached = self.machine.step(state, view)
+            self._delta_cache[key] = cached
+        return cached
+
+    def _movers(self) -> list[tuple[State, State, int]]:
+        """States whose nodes would change state, with their counts.
+
+        Sorted by ``repr`` so the weighted draw consumes randomness in a
+        deterministic order regardless of dict insertion history.
+        """
+        movers = []
+        for state in sorted(self.counts, key=repr):
+            nxt = self._next_state(state)
+            if nxt != state:
+                movers.append((state, nxt, self.counts[state]))
+        return movers
+
+    # -- streak bookkeeping -------------------------------------------- #
+    def _consume_silent(self, silent: int, max_steps: int) -> bool:
+        """Advance through ``silent`` steps that do not change the counts.
+
+        Returns ``True`` if the run stabilised (or exhausted ``max_steps``)
+        during the stretch.  Mirrors the per-node backend exactly: during a
+        silent stretch the consensus value is constant, so the consensus
+        streak grows by one per step while a consensus exists.
+        """
+        if silent <= 0:
+            return self.step >= max_steps
+        value = consensus_of_counts(self.machine, self.counts)
+        if value is not None:
+            needed = self.consensus_streak + silent  # streak after the stretch
+            to_stabilise = (  # steps until the streak reaches the window
+                max(0, self._window - self.consensus_streak)
+                if self.consensus_streak < self._window
+                else 0
+            )
+            if needed >= self._window and self.step + to_stabilise <= max_steps:
+                self.step += to_stabilise
+                self.consensus_streak = self._window
+                self.stabilised_at = self.step
+                return True
+        take = min(silent, max_steps - self.step)
+        self.step += take
+        if value is not None:
+            self.consensus_streak += take
+        return self.step >= max_steps
+
+    def _after_change(self) -> bool:
+        """Update streaks after a count-changing step; True if stabilised."""
+        current = consensus_of_counts(self.machine, self.counts)
+        if current is not None and current == self.last_consensus:
+            self.consensus_streak += 1
+        else:
+            self.consensus_streak = 0
+        self.last_consensus = current
+        if self.consensus_streak >= self._window:
+            self.stabilised_at = self.step
+            return True
+        return False
+
+    # -- drivers --------------------------------------------------------- #
+    def run_exclusive(self, rng, max_steps: int, window: int) -> RunResult:
+        """Uniform random exclusive scheduling, sampled at the count level."""
+        self._window = window
+        n = self.n
+        while self.step < max_steps:
+            movers = self._movers()
+            active_mass = sum(count for _, _, count in movers)
+            if active_mass == 0:
+                # Fixed point: every remaining step is silent.
+                self._consume_silent(max_steps - self.step, max_steps)
+                break
+            silent = geometric_silent_steps(rng, active_mass / n)
+            if self._consume_silent(silent, max_steps):
+                break
+            # The active step: pick a mover state weighted by its count.
+            self.step += 1
+            state, nxt, _ = movers[
+                weighted_index(rng, [count for _, _, count in movers], active_mass)
+            ]
+            self.counts[state] -= 1
+            if self.counts[state] == 0:
+                del self.counts[state]
+            self.counts[nxt] = self.counts.get(nxt, 0) + 1
+            if self._after_change():
+                break
+        return self._finish()
+
+    def run_synchronous(self, max_steps: int, window: int) -> RunResult:
+        """The unique synchronous run, advanced as pure count arithmetic."""
+        self._window = window
+        while self.step < max_steps:
+            new_counts: dict[State, int] = {}
+            for state in sorted(self.counts, key=repr):
+                nxt = self._next_state(state)
+                new_counts[nxt] = new_counts.get(nxt, 0) + self.counts[state]
+            if new_counts == self.counts:
+                # Count-level fixed point: views never change again, so the
+                # per-state transition map (and hence the counts and the
+                # consensus value) is constant for the rest of the run.
+                self._consume_silent(max_steps - self.step, max_steps)
+                break
+            self.step += 1
+            self.counts = new_counts
+            if self._after_change():
+                break
+        return self._finish()
+
+    def _finish(self) -> RunResult:
+        final_value = consensus_of_counts(self.machine, self.counts)
+        configuration = configuration_from_counts(self.counts)
+        return _result(final_value, self.step, configuration, self.stabilised_at, None)
+
+
+# ---------------------------------------------------------------------- #
+# Shared verdict assembly and backend resolution
+# ---------------------------------------------------------------------- #
+def _result(
+    final_value: bool | None,
+    step: int,
+    configuration: Configuration,
+    stabilised_at: int | None,
+    trace: list[Configuration] | None,
+) -> RunResult:
+    if final_value is not None:
+        # Stabilised, or ran out of steps while in a consensus: report the
+        # consensus value (the latter flagged by ``stabilised_at is None``).
+        verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
+    else:
+        verdict = Verdict.UNDECIDED
+    return RunResult(
+        verdict=verdict,
+        steps=step,
+        final_configuration=configuration,
+        stabilised_at=stabilised_at,
+        trace=trace,
+    )
+
+
+PER_NODE_BACKEND = PerNodeBackend()
+COUNT_BACKEND = CountBasedBackend()
+
+_BACKENDS_BY_NAME: dict[str, SimulationBackend] = {
+    PER_NODE_BACKEND.name: PER_NODE_BACKEND,
+    COUNT_BACKEND.name: COUNT_BACKEND,
+}
+
+
+def resolve_backend(
+    spec: str | SimulationBackend,
+    machine: DistributedMachine,
+    graph: LabeledGraph,
+    schedule: ScheduleGenerator,
+    record_trace: bool = False,
+) -> SimulationBackend:
+    """Resolve a backend spec (``"auto"``, a name, or an instance) for an instance.
+
+    ``"auto"`` picks the count-based backend whenever it supports the
+    instance and the per-node reference otherwise.  Naming a backend that
+    cannot handle the instance raises :class:`BackendUnsupported` rather than
+    silently falling back.
+    """
+    if isinstance(spec, SimulationBackend):
+        backend = spec
+    elif spec == "auto":
+        if COUNT_BACKEND.supports(machine, graph, schedule, record_trace):
+            return COUNT_BACKEND
+        return PER_NODE_BACKEND
+    else:
+        try:
+            backend = _BACKENDS_BY_NAME[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; expected 'auto', one of "
+                f"{sorted(_BACKENDS_BY_NAME)}, or a SimulationBackend instance"
+            ) from None
+    if not backend.supports(machine, graph, schedule, record_trace):
+        raise BackendUnsupported(
+            f"backend {backend.name!r} does not support this instance "
+            f"(graph={graph.name!r}, schedule={type(schedule).__name__}, "
+            f"record_trace={record_trace})"
+        )
+    return backend

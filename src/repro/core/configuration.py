@@ -10,6 +10,7 @@ stores millions of them in hash sets.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from repro.core.graphs import LabeledGraph, Node
@@ -69,6 +70,60 @@ def consensus_value(machine: DistributedMachine, configuration: Configuration) -
     if is_accepting_configuration(machine, configuration):
         return True
     if is_rejecting_configuration(machine, configuration):
+        return False
+    return None
+
+
+def state_counts(configuration: Iterable[State]) -> dict[State, int]:
+    """The multiset of states of a configuration, as a ``state -> count`` map.
+
+    On symmetric instances (cliques) the counts carry all the information the
+    dynamics can observe — the same "store only the counts" observation the
+    proof of Lemma 5.1 uses to place DAF inside NL.  The count-based
+    simulation backend keeps exactly this representation.
+    """
+    return dict(Counter(configuration))
+
+
+def configuration_from_counts(counts: dict[State, int]) -> Configuration:
+    """A canonical per-node configuration with the given state counts.
+
+    Nodes are assigned states in sorted (``repr``) order, so the result is a
+    deterministic representative of the count vector.  Node identities are
+    not preserved — consensus values, verdicts and count-level observables
+    are, which is all the count-based backend reports.
+    """
+    states: list[State] = []
+    for state, count in sorted(counts.items(), key=lambda item: repr(item[0])):
+        if count < 0:
+            raise ValueError("state counts cannot be negative")
+        states.extend([state] * count)
+    return tuple(states)
+
+
+def consensus_of_counts(
+    machine: DistributedMachine, counts: dict[State, int]
+) -> bool | None:
+    """:func:`consensus_value` evaluated on a count vector in O(|states|).
+
+    Mirrors :func:`consensus_value` exactly, including its accept-first
+    tie-break when every occupied state is both accepting and rejecting
+    (machines do not validate disjointness of the two predicates).
+    """
+    accepting = True
+    rejecting = True
+    for state, count in counts.items():
+        if count <= 0:
+            continue
+        if not machine.is_accepting(state):
+            accepting = False
+        if not machine.is_rejecting(state):
+            rejecting = False
+        if not accepting and not rejecting:
+            return None
+    if accepting:
+        return True
+    if rejecting:
         return False
     return None
 

@@ -145,6 +145,17 @@ class LabeledGraph:
         """Whether every node has at most ``k`` neighbours."""
         return self.max_degree() <= k
 
+    def is_clique(self) -> bool:
+        """Whether every pair of distinct nodes is adjacent.
+
+        Cliques are the substrate of classical population protocols and the
+        one family where a configuration is fully described by its state
+        counts: every node sees the same neighbourhood up to its own state.
+        The count-based simulation backend keys off this predicate.
+        """
+        n = self.num_nodes
+        return self.num_edges == n * (n - 1) // 2
+
     def check_paper_convention(self) -> None:
         """Enforce the paper's standing convention: connected, ≥ 3 nodes."""
         if self.num_nodes < 3:
@@ -186,6 +197,100 @@ class LabeledGraph:
             f"LabeledGraph(name={self.name!r}, n={self.num_nodes}, "
             f"m={self.num_edges}, labels={self.labels})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# Implicit cliques (large populations)
+# ---------------------------------------------------------------------- #
+class ImplicitCliqueGraph:
+    """A clique represented without materialising its ``n(n-1)/2`` edges.
+
+    :class:`LabeledGraph` stores an explicit edge set, which caps cliques at
+    a few thousand nodes (a 10⁴-node clique already has ~5·10⁷ edges).  This
+    class implements the same read interface — ``nodes``, ``labels``,
+    ``label_of``, ``neighbors``, ``degree``, ``is_clique`` … — with all
+    adjacency answered implicitly, so the count-based simulation backend can
+    run populations of 10⁴–10⁶ agents and the per-node backend can still walk
+    the same instance (``neighbors`` builds the other-nodes tuple on demand).
+    Build one with :func:`implicit_clique_graph` / :func:`clique_from_count`
+    with ``implicit=True``.
+    """
+
+    def __init__(self, alphabet: Alphabet, labels: Sequence[Label], name: str = "clique"):
+        if len(labels) == 0:
+            raise ValueError("graph must have at least one node")
+        for label in labels:
+            if label not in alphabet:
+                raise ValueError(f"label {label!r} not in alphabet {alphabet.labels}")
+        self.alphabet = alphabet
+        self.labels = tuple(labels)
+        self.name = name
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        n = self.num_nodes
+        return n * (n - 1) // 2
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def label_of(self, node: Node) -> Label:
+        return self.labels[node]
+
+    def neighbors(self, node: Node) -> tuple[Node, ...]:
+        return tuple(v for v in range(self.num_nodes) if v != node)
+
+    def degree(self, node: Node) -> int:
+        return self.num_nodes - 1
+
+    def max_degree(self) -> int:
+        return self.num_nodes - 1
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        n = self.num_nodes
+        return u != v and 0 <= u < n and 0 <= v < n
+
+    def label_count(self) -> LabelCount:
+        return LabelCount.from_labels(self.alphabet, self.labels)
+
+    def is_connected(self) -> bool:
+        return True
+
+    def has_cycle(self) -> bool:
+        return self.num_nodes >= 3
+
+    def is_degree_bounded(self, k: int) -> bool:
+        return self.num_nodes - 1 <= k
+
+    def is_clique(self) -> bool:
+        return True
+
+    def check_paper_convention(self) -> None:
+        if self.num_nodes < 3:
+            raise ValueError(
+                f"paper convention requires at least 3 nodes, got {self.num_nodes}"
+            )
+
+    def materialise(self) -> "LabeledGraph":
+        """The equivalent explicit :class:`LabeledGraph` (small cliques only)."""
+        return clique_graph(self.alphabet, self.labels, self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicitCliqueGraph(name={self.name!r}, n={self.num_nodes}, "
+            f"labels={self.label_count().as_dict()})"
+        )
+
+
+def implicit_clique_graph(
+    alphabet: Alphabet, labels: Sequence[Label], name: str = "clique"
+) -> ImplicitCliqueGraph:
+    """A clique on the given labels without materialised edges (any size)."""
+    return ImplicitCliqueGraph(alphabet, labels, name)
 
 
 # ---------------------------------------------------------------------- #
@@ -267,9 +372,19 @@ def line_from_count(count: LabelCount, name: str = "line") -> LabeledGraph:
     return line_graph(count.alphabet, _labels_from_count(count), name)
 
 
-def clique_from_count(count: LabelCount, name: str = "clique") -> LabeledGraph:
-    """The (unique up to isomorphism) clique with label count ``count``."""
-    return clique_graph(count.alphabet, _labels_from_count(count), name)
+def clique_from_count(
+    count: LabelCount, name: str = "clique", implicit: bool = False
+) -> "LabeledGraph | ImplicitCliqueGraph":
+    """The (unique up to isomorphism) clique with label count ``count``.
+
+    With ``implicit=True`` the edges are never materialised
+    (:class:`ImplicitCliqueGraph`), which is the only feasible representation
+    beyond a few thousand nodes.
+    """
+    labels = _labels_from_count(count)
+    if implicit:
+        return implicit_clique_graph(count.alphabet, labels, name)
+    return clique_graph(count.alphabet, labels, name)
 
 
 def star_from_count(count: LabelCount, name: str = "star") -> LabeledGraph:

@@ -26,6 +26,7 @@ Infinite schedules cannot be materialised, so this module provides
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
@@ -108,6 +109,57 @@ def permitted_selections(graph: LabeledGraph, mode: SelectionMode) -> list[Selec
 # ---------------------------------------------------------------------- #
 # Finite schedule generators (for Monte-Carlo simulation)
 # ---------------------------------------------------------------------- #
+def resolve_rng(rng: random.Random | None, seed: int | None) -> random.Random:
+    """The random source a generator or backend should draw from.
+
+    Randomised generators and simulation backends never touch the *global*
+    ``random`` module state: they draw from an explicitly injected
+    ``random.Random`` instance, or from a private ``random.Random(seed)``
+    (which, for ``seed=None``, is seeded from OS entropy — still independent
+    of ``random.seed``).  This keeps engine output reproducible per seed and
+    immune to unrelated code reseeding the global generator.
+    """
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def geometric_silent_steps(rng: random.Random, probability: float) -> int:
+    """Number of silent draws before the next active one, in one variate.
+
+    When each step is independently *active* with probability ``probability``,
+    the count of silent steps preceding the next active step is geometric on
+    ``{0, 1, 2, …}`` with ``P(k) = (1-p)^k p``.  Sampling it directly lets the
+    count-based engines fast-forward silent stretches instead of drawing them
+    one at a time.  ``rng.random() < 1`` keeps both logarithms finite, and
+    ``log1p`` stays exact for the tiny activity probabilities that arise at
+    large population scales (``1.0 - p`` would round to ``1.0`` below ~1e-16,
+    dividing by zero).
+    """
+    if probability <= 0.0:
+        raise ValueError("activity probability must be positive")
+    if probability >= 1.0:
+        return 0
+    u = rng.random()
+    return int(math.log1p(-u) / math.log1p(-probability))
+
+
+def weighted_index(rng: random.Random, weights: Sequence[int], total: int) -> int:
+    """Index of a weighted draw: ``i`` with probability ``weights[i]/total``.
+
+    ``total`` must equal ``sum(weights)``; passing it in saves re-summing a
+    list the caller has already aggregated.  The cumulative scan always
+    terminates inside the loop because ``rng.random() < 1``.
+    """
+    pick = rng.random() * total
+    cumulative = 0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if pick < cumulative:
+            return index
+    return len(weights) - 1
+
+
 class ScheduleGenerator:
     """Base class for finite schedule generators.
 
@@ -164,12 +216,18 @@ class RandomExclusiveSchedule(ScheduleGenerator):
     With probability 1 such a schedule is fair; moreover every finite
     sequence of selections occurs infinitely often almost surely, so it is
     the natural finite surrogate for pseudo-stochastic scheduling.
+
+    Randomness comes from ``rng`` if injected (a shared, mutable
+    ``random.Random`` — successive ``selections()`` calls continue its
+    stream) and otherwise from a fresh private ``random.Random(seed)`` per
+    ``selections()`` call; the global ``random`` state is never consulted.
     """
 
     seed: int | None = None
+    rng: random.Random | None = None
 
     def selections(self, graph: LabeledGraph) -> Iterator[Selection]:
-        rng = random.Random(self.seed)
+        rng = resolve_rng(self.rng, self.seed)
         nodes = list(graph.nodes())
         while True:
             yield frozenset((rng.choice(nodes),))
@@ -177,13 +235,18 @@ class RandomExclusiveSchedule(ScheduleGenerator):
 
 @dataclass
 class RandomLiberalSchedule(ScheduleGenerator):
-    """Liberal selection: every node independently included with probability p."""
+    """Liberal selection: every node independently included with probability p.
+
+    Draws from an injected ``rng`` or a private ``random.Random(seed)``,
+    never from the global ``random`` state.
+    """
 
     probability: float = 0.5
     seed: int | None = None
+    rng: random.Random | None = None
 
     def selections(self, graph: LabeledGraph) -> Iterator[Selection]:
-        rng = random.Random(self.seed)
+        rng = resolve_rng(self.rng, self.seed)
         nodes = list(graph.nodes())
         while True:
             chosen = [v for v in nodes if rng.random() < self.probability]

@@ -11,23 +11,39 @@ enabled that would leave it" or simply a long quiet period).
 Simulation never *proves* acceptance by stable consensus — it produces
 positive evidence, which the benchmarks label as such.  For halting automata,
 however, a simulated run that reaches a halted consensus is conclusive.
+
+The engine itself is a thin dispatcher: the actual run is executed by a
+pluggable :class:`~repro.core.backends.SimulationBackend`.  The default
+(``backend="auto"``) uses the count-based vectorized backend on clique
+instances — feasible up to populations of 10⁴–10⁶ agents — and the per-node
+reference backend everywhere else; see :mod:`repro.core.backends` for the
+scaling ladder.  Batches of runs (with derived per-run seeds, early stopping
+and aggregate statistics) go through :meth:`SimulationEngine.run_many`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.automaton import DistributedAutomaton
+from repro.core.backends import (
+    BackendUnsupported,
+    CountBasedBackend,
+    PerNodeBackend,
+    SimulationBackend,
+    resolve_backend,
+)
+from repro.core.batch import BatchResult, collect_batch, derive_seed, quorum_target
 from repro.core.configuration import (
     Configuration,
-    consensus_value,
     initial_configuration,
     neighborhood_of,
     successor,
 )
 from repro.core.graphs import LabeledGraph
 from repro.core.machine import DistributedMachine
+from repro.core.results import RunResult, Verdict
 from repro.core.scheduler import (
     RandomExclusiveSchedule,
     ScheduleGenerator,
@@ -35,40 +51,17 @@ from repro.core.scheduler import (
     SynchronousSchedule,
 )
 
-
-class Verdict(Enum):
-    """Outcome of a simulated (or exactly decided) computation."""
-
-    ACCEPT = "accept"
-    REJECT = "reject"
-    UNDECIDED = "undecided"
-    INCONSISTENT = "inconsistent"
-
-    def as_bool(self) -> bool | None:
-        if self is Verdict.ACCEPT:
-            return True
-        if self is Verdict.REJECT:
-            return False
-        return None
-
-
-@dataclass
-class RunResult:
-    """The outcome of one simulated run."""
-
-    verdict: Verdict
-    steps: int
-    final_configuration: Configuration
-    stabilised_at: int | None = None
-    trace: list[Configuration] | None = None
-
-    @property
-    def accepted(self) -> bool:
-        return self.verdict is Verdict.ACCEPT
-
-    @property
-    def rejected(self) -> bool:
-        return self.verdict is Verdict.REJECT
+__all__ = [
+    "BackendUnsupported",
+    "CountBasedBackend",
+    "PerNodeBackend",
+    "RunResult",
+    "SimulationBackend",
+    "SimulationEngine",
+    "Verdict",
+    "enabled_nodes",
+    "synchronous_trace",
+]
 
 
 @dataclass
@@ -85,14 +78,32 @@ class SimulationEngine:
         when the configuration itself has been constant for this many steps.
     record_trace:
         Keep the full configuration trace (memory-heavy; used by the
-        Figure 2 reproduction and by debugging).
+        Figure 2 reproduction and by debugging).  Forces the per-node
+        backend — the count-based engine does not track node identities.
+    backend:
+        ``"auto"`` (default), ``"per-node"``, ``"count"``, or a
+        :class:`~repro.core.backends.SimulationBackend` instance.  ``"auto"``
+        selects the count-based engine for clique instances under random
+        exclusive or synchronous schedules and the per-node reference
+        otherwise; naming a backend that cannot handle an instance raises
+        :class:`~repro.core.backends.BackendUnsupported`.
     """
 
     max_steps: int = 10_000
     stability_window: int = 200
     record_trace: bool = False
+    backend: str | SimulationBackend = "auto"
 
     # ------------------------------------------------------------------ #
+    def backend_for(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+    ) -> SimulationBackend:
+        """The backend this engine would use for the given instance."""
+        return resolve_backend(self.backend, machine, graph, schedule, self.record_trace)
+
     def run_machine(
         self,
         machine: DistributedMachine,
@@ -101,54 +112,15 @@ class SimulationEngine:
         start: Configuration | None = None,
     ) -> RunResult:
         """Run ``machine`` on ``graph`` under the given schedule generator."""
-        configuration = (
-            start if start is not None else initial_configuration(machine, graph)
-        )
-        trace: list[Configuration] | None = [configuration] if self.record_trace else None
-        consensus_streak = 0
-        quiet_streak = 0
-        last_consensus = consensus_value(machine, configuration)
-        stabilised_at: int | None = None
-        step = 0
-        for selection in schedule.selections(graph):
-            if step >= self.max_steps:
-                break
-            step += 1
-            next_configuration = successor(machine, graph, configuration, selection)
-            if trace is not None:
-                trace.append(next_configuration)
-            if next_configuration == configuration:
-                quiet_streak += 1
-            else:
-                quiet_streak = 0
-            configuration = next_configuration
-            current = consensus_value(machine, configuration)
-            if current is not None and current == last_consensus:
-                consensus_streak += 1
-            else:
-                consensus_streak = 0
-            last_consensus = current
-            if consensus_streak >= self.stability_window:
-                stabilised_at = step
-                break
-            if quiet_streak >= self.stability_window and current is not None:
-                stabilised_at = step
-                break
-        final_value = consensus_value(machine, configuration)
-        if stabilised_at is not None and final_value is not None:
-            verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
-        elif final_value is not None:
-            # Ran out of steps but ended in a consensus: report it, flagged as
-            # merely the final observation.
-            verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
-        else:
-            verdict = Verdict.UNDECIDED
-        return RunResult(
-            verdict=verdict,
-            steps=step,
-            final_configuration=configuration,
-            stabilised_at=stabilised_at,
-            trace=trace,
+        backend = self.backend_for(machine, graph, schedule)
+        return backend.run(
+            machine,
+            graph,
+            schedule,
+            max_steps=self.max_steps,
+            stability_window=self.stability_window,
+            record_trace=self.record_trace,
+            start=start,
         )
 
     # ------------------------------------------------------------------ #
@@ -167,13 +139,95 @@ class SimulationEngine:
         a fair adversarial schedule as well).
         """
         if schedule is None:
+            schedule = self._default_schedule(automaton, seed)
+        return self.run_machine(automaton.machine, graph, schedule)
+
+    @staticmethod
+    def _default_schedule(
+        automaton: DistributedAutomaton, seed: int | None
+    ) -> ScheduleGenerator:
+        from repro.core.scheduler import SelectionMode
+
+        if automaton.selection is SelectionMode.SYNCHRONOUS:
+            return SynchronousSchedule()
+        return RandomExclusiveSchedule(seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def run_many(
+        self,
+        automaton: DistributedAutomaton | DistributedMachine,
+        graph: LabeledGraph,
+        runs: int,
+        base_seed: int = 0,
+        schedule_factory: Callable[[int], ScheduleGenerator] | None = None,
+        quorum: float | None = None,
+        min_runs: int = 1,
+        keep_results: bool = False,
+    ) -> BatchResult:
+        """Execute a batch of independent Monte-Carlo runs.
+
+        Per-run seeds are derived deterministically from ``base_seed``
+        (:func:`repro.core.batch.derive_seed`), so run ``i`` is reproducible
+        in isolation and independent of how many runs the batch executes.
+        ``schedule_factory`` maps a derived seed to a schedule generator
+        (default: :class:`RandomExclusiveSchedule`); ``quorum`` enables early
+        stopping once that fraction of the planned runs has returned the same
+        decided verdict.  Returns a :class:`~repro.core.batch.BatchResult`
+        with the verdict distribution and step percentiles.
+
+        A synchronous automaton without an explicit ``schedule_factory`` has
+        a *unique* run (the seed is ignored by :class:`SynchronousSchedule`),
+        so the batch simulates it once and replicates the outcome instead of
+        re-running the identical trajectory ``runs`` times.  ``quorum`` is
+        ignored on that path: no compute can be saved, and truncating the
+        replicated batch would misreport it as stopped early.
+        """
+        if runs < 1:
+            raise ValueError("a batch needs at least one run")
+        deterministic = False
+        if isinstance(automaton, DistributedAutomaton):
             from repro.core.scheduler import SelectionMode
 
-            if automaton.selection is SelectionMode.SYNCHRONOUS:
-                schedule = SynchronousSchedule()
-            else:
-                schedule = RandomExclusiveSchedule(seed=seed)
-        return self.run_machine(automaton.machine, graph, schedule)
+            machine = automaton.machine
+            default_factory = lambda seed: self._default_schedule(automaton, seed)
+            deterministic = (
+                schedule_factory is None
+                and automaton.selection is SelectionMode.SYNCHRONOUS
+            )
+        else:
+            machine = automaton
+            default_factory = lambda seed: RandomExclusiveSchedule(seed=seed)
+        factory = schedule_factory or default_factory
+
+        if deterministic:
+            # Validate the argument even though it is ignored on this path,
+            # so a bad quorum fails identically for every selection mode.
+            quorum_target(runs, quorum)
+            quorum = None
+            result = self.run_machine(
+                machine, graph, factory(derive_seed(base_seed, 0))
+            )
+
+            def outcomes():
+                for _ in range(runs):
+                    yield result.verdict, result.steps, result
+
+        else:
+
+            def outcomes():
+                for index in range(runs):
+                    schedule = factory(derive_seed(base_seed, index))
+                    result = self.run_machine(machine, graph, schedule)
+                    yield result.verdict, result.steps, result
+
+        return collect_batch(
+            outcomes(),
+            runs=runs,
+            base_seed=base_seed,
+            quorum=quorum,
+            min_runs=min_runs,
+            keep_results=keep_results,
+        )
 
     # ------------------------------------------------------------------ #
     def majority_vote(
@@ -189,18 +243,12 @@ class SimulationEngine:
         disagree the result is ``INCONSISTENT`` (evidence that either the
         automaton violates the consistency condition or the stabilisation
         heuristic fired too early); if no run decided, ``UNDECIDED``.
+
+        Implemented as a thin wrapper over :meth:`run_many`; per-run seeds
+        are derived from ``base_seed`` via :func:`~repro.core.batch.derive_seed`.
         """
-        verdicts: list[Verdict] = []
-        for repetition in range(repetitions):
-            schedule = RandomExclusiveSchedule(seed=base_seed + repetition)
-            result = self.run_automaton(automaton, graph, schedule=schedule)
-            if result.verdict in (Verdict.ACCEPT, Verdict.REJECT):
-                verdicts.append(result.verdict)
-        if not verdicts:
-            return Verdict.UNDECIDED
-        if all(v is verdicts[0] for v in verdicts):
-            return verdicts[0]
-        return Verdict.INCONSISTENT
+        batch = self.run_many(automaton, graph, runs=repetitions, base_seed=base_seed)
+        return batch.consensus
 
 
 def synchronous_trace(

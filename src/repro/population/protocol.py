@@ -19,7 +19,10 @@ import random
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 
+from repro.core.batch import BatchResult, collect_batch, derive_seed
+from repro.core.configuration import consensus_of_counts
 from repro.core.labels import Alphabet, Label, LabelCount
+from repro.core.scheduler import geometric_silent_steps, weighted_index
 from repro.core.simulation import Verdict
 
 State = object
@@ -133,9 +136,50 @@ class PopulationProtocol:
         return Verdict.INCONSISTENT
 
     def simulate(
-        self, count: LabelCount, max_steps: int = 50_000, seed: int | None = None
+        self,
+        count: LabelCount,
+        max_steps: int = 50_000,
+        seed: int | None = None,
+        method: str = "auto",
     ) -> tuple[Verdict, int]:
-        """Monte-Carlo simulation with uniformly random interacting pairs."""
+        """Monte-Carlo simulation with uniformly random interacting pairs.
+
+        Two engines are available, selected by ``method``:
+
+        ``"agents"``
+            The reference engine: an explicit agent array; each step samples
+            an ordered pair of distinct agents.  O(n) memory, O(n) consensus
+            checks (amortised over a 10·n cadence).
+
+        ``"counts"``
+            The vectorized engine: the configuration is a state-count vector
+            (agents are indistinguishable on a clique), a step samples an
+            ordered *state* pair weighted by counts, and stretches of silent
+            interactions are fast-forwarded geometrically.  Each active step
+            enumerates the ordered pairs of *occupied* states (quadratic in
+            their number, with a sort) but is independent of the population
+            size — the engine that makes 10⁴–10⁶-agent populations feasible.
+
+        ``"auto"`` picks ``"counts"``.  Both engines draw from a private
+        ``random.Random(seed)``, never the global ``random`` state, and both
+        require the consensus to persist for 10·n steps before reporting it
+        (the counts engine tracks the streak per step; the agents engine
+        confirms the same consensus at two consecutive 10·n-step
+        checkpoints), so transient consensus is not mistaken for
+        stabilisation.  When ``max_steps`` is exhausted both report the
+        instantaneous consensus of the final configuration.
+        """
+        if method == "auto":
+            method = "counts"
+        if method == "counts":
+            return self._simulate_counts(count, max_steps, seed)
+        if method == "agents":
+            return self._simulate_agents(count, max_steps, seed)
+        raise ValueError(f"unknown simulation method {method!r}")
+
+    def _simulate_agents(
+        self, count: LabelCount, max_steps: int, seed: int | None
+    ) -> tuple[Verdict, int]:
         rng = random.Random(seed)
         agents: list[State] = []
         for label, number in count:
@@ -143,22 +187,149 @@ class PopulationProtocol:
         n = len(agents)
         if n < 2:
             raise ValueError("population protocols need at least two agents")
+        window = 10 * n
+        pending: Verdict | None = None  # consensus seen at the previous checkpoint
         for step in range(1, max_steps + 1):
             i = rng.randrange(n)
             j = rng.randrange(n - 1)
             if j >= i:
                 j += 1
             agents[i], agents[j] = self.delta(agents[i], agents[j])
-            if step % (10 * n) == 0:
+            if step % window == 0:
                 if all(self.is_accepting(s) for s in agents):
-                    return Verdict.ACCEPT, step
-                if all(self.is_rejecting(s) for s in agents):
-                    return Verdict.REJECT, step
+                    current: Verdict | None = Verdict.ACCEPT
+                elif all(self.is_rejecting(s) for s in agents):
+                    current = Verdict.REJECT
+                else:
+                    current = None
+                # Report only a consensus that persisted across a full
+                # window (two consecutive checkpoints), matching the counts
+                # engine's streak requirement.
+                if current is not None and current is pending:
+                    return current, step
+                pending = current
         if all(self.is_accepting(s) for s in agents):
             return Verdict.ACCEPT, max_steps
         if all(self.is_rejecting(s) for s in agents):
             return Verdict.REJECT, max_steps
         return Verdict.UNDECIDED, max_steps
+
+    def _simulate_counts(
+        self, count: LabelCount, max_steps: int, seed: int | None
+    ) -> tuple[Verdict, int]:
+        rng = random.Random(seed)
+        counts = {state: number for state, number in self.initial_configuration(count)}
+        n = sum(counts.values())
+        if n < 2:
+            raise ValueError("population protocols need at least two agents")
+        window = 10 * n
+        total_pairs = n * (n - 1)
+        delta_cache: dict[tuple[State, State], tuple[State, State]] = {}
+
+        def consensus() -> Verdict | None:
+            # consensus_of_counts only needs is_accepting/is_rejecting, which
+            # the protocol provides — one shared implementation of the scan
+            # (including its accept-first tie-break on overlapping predicates).
+            decided = consensus_of_counts(self, counts)
+            if decided is None:
+                return None
+            return Verdict.ACCEPT if decided else Verdict.REJECT
+
+        step = 0
+        streak = 0  # consecutive steps the current consensus has persisted
+        value = consensus()
+        while step < max_steps:
+            # Enumerate the active ordered state pairs under the current counts.
+            movers: list[tuple[State, State, int, tuple[State, State]]] = []
+            active = 0
+            states = sorted(counts, key=repr)
+            for p in states:
+                for q in states:
+                    weight = counts[p] * (counts[q] - (1 if p == q else 0))
+                    if weight <= 0:
+                        continue
+                    key = (p, q)
+                    outcome = delta_cache.get(key)
+                    if outcome is None:
+                        outcome = self.delta(p, q)
+                        delta_cache[key] = outcome
+                    if outcome != key:
+                        movers.append((p, q, weight, outcome))
+                        active += weight
+            if active == 0:
+                # Fixed point: the verdict is decided now or never.
+                if value is not None:
+                    return value, min(step + max(0, window - streak), max_steps)
+                return Verdict.UNDECIDED, max_steps
+            silent = geometric_silent_steps(rng, active / total_pairs)
+            if value is not None and streak + silent >= window:
+                return value, min(step + (window - streak), max_steps)
+            taken = min(silent, max_steps - step)
+            step += taken
+            if value is not None:
+                streak += taken
+            if step >= max_steps:
+                break
+            # The active interaction: weighted draw over the ordered pairs.
+            step += 1
+            p, q, _, outcome = movers[
+                weighted_index(rng, [w for _, _, w, _ in movers], active)
+            ]
+            p2, q2 = outcome
+            counts[p] -= 1
+            if counts[p] == 0:
+                del counts[p]
+            counts[q] = counts.get(q, 0) - 1
+            if counts[q] == 0:
+                del counts[q]
+            counts[p2] = counts.get(p2, 0) + 1
+            counts[q2] = counts.get(q2, 0) + 1
+            new_value = consensus()
+            streak = streak + 1 if (new_value is not None and new_value == value) else 0
+            value = new_value
+            if value is not None and streak >= window:
+                return value, step
+        return (value if value is not None else Verdict.UNDECIDED), max_steps
+
+    def run_many(
+        self,
+        count: LabelCount,
+        runs: int,
+        base_seed: int = 0,
+        max_steps: int = 50_000,
+        method: str = "auto",
+        quorum: float | None = None,
+        min_runs: int = 1,
+    ) -> BatchResult:
+        """A batch of independent Monte-Carlo runs with derived per-run seeds.
+
+        The population-protocol counterpart of
+        ``SimulationEngine.run_many``: seeds come from
+        :func:`repro.core.batch.derive_seed`, ``quorum`` enables early
+        stopping once that fraction of the planned runs agrees on a decided
+        verdict, and the result aggregates the verdict distribution and step
+        percentiles.
+        """
+        if runs < 1:
+            raise ValueError("a batch needs at least one run")
+
+        def outcomes():
+            for index in range(runs):
+                verdict, steps = self.simulate(
+                    count,
+                    max_steps=max_steps,
+                    seed=derive_seed(base_seed, index),
+                    method=method,
+                )
+                yield verdict, steps, None
+
+        return collect_batch(
+            outcomes(),
+            runs=runs,
+            base_seed=base_seed,
+            quorum=quorum,
+            min_runs=min_runs,
+        )
 
 
 def _predicate(spec) -> Callable[[State], bool]:

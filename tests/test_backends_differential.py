@@ -1,0 +1,215 @@
+"""Differential tests: per-node backend vs count-based backend vs exact decision.
+
+Three cross-validation layers, all seeded so failures reproduce:
+
+1. *Synchronous lock-step*: on a clique the synchronous run is unique, so the
+   per-node and count-based backends must agree **exactly** — verdict, step
+   count and stabilisation point — even for completely random transition
+   functions.  This exercises the count semantics against the reference
+   implementation with no stochastic slack at all.
+
+2. *Random exclusive schedules vs exact decision*: for consistent automata
+   (label flooding, DAF thresholds) on randomized small graphs, the verdict
+   of every backend must match :func:`repro.core.verification.decide`, which
+   quantifies over all fair schedules.  This is the harness that keeps
+   aggressive backend optimisations honest.
+
+3. *Population protocols*: the count-vector engine of
+   :class:`~repro.population.protocol.PopulationProtocol` against the
+   per-agent engine and the exact (bottom-SCC) decision.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.automaton import automaton
+from repro.core.graphs import (
+    clique_graph,
+    cycle_graph,
+    line_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.core.labels import Alphabet, LabelCount
+from repro.core.machine import DistributedMachine
+from repro.core.scheduler import RandomExclusiveSchedule, SynchronousSchedule
+from repro.core.simulation import SimulationEngine, Verdict
+from repro.core.verification import decide
+from repro.constructions import exists_label_machine, threshold_daf_automaton
+from repro.population import (
+    four_state_majority,
+    parity_population_protocol,
+    threshold_protocol,
+)
+
+AB = Alphabet.of("a", "b")
+
+
+# --------------------------------------------------------------------- #
+# Layer 1: random machines, synchronous lock-step
+# --------------------------------------------------------------------- #
+def random_table_machine(master_seed: int) -> DistributedMachine:
+    """A machine with a pseudo-random (but deterministic) transition function.
+
+    The successor of ``(state, view)`` is drawn from a ``random.Random``
+    keyed by the machine seed and the capped view, so the function is a
+    genuine function — both backends observe identical dynamics.
+    """
+    seeder = random.Random(master_seed)
+    states = [f"q{i}" for i in range(seeder.randint(2, 4))]
+    beta = seeder.randint(1, 2)
+    init_map = {"a": seeder.choice(states), "b": seeder.choice(states)}
+    accepting = frozenset(seeder.sample(states, seeder.randint(0, len(states) - 1)))
+    rejecting = frozenset(
+        seeder.sample(sorted(set(states) - accepting), 1)
+        if len(set(states) - set(accepting)) > 1 and seeder.random() < 0.7
+        else []
+    )
+
+    def delta(state, neighborhood):
+        key = (master_seed, state, neighborhood.items())
+        return random.Random(repr(key)).choice(states)
+
+    return DistributedMachine(
+        alphabet=AB,
+        beta=beta,
+        init=lambda label: init_map[label],
+        delta=delta,
+        accepting=accepting,
+        rejecting=rejecting,
+        name=f"random-table-{master_seed}",
+    )
+
+
+def random_clique_labels(rng: random.Random) -> list[str]:
+    n = rng.randint(2, 7)
+    return [rng.choice("ab") for _ in range(n)]
+
+
+@pytest.mark.parametrize("case", range(25))
+def test_synchronous_lockstep_per_node_vs_count(case):
+    """Random machines on random cliques: the unique synchronous run must
+    produce bit-identical outcomes from both backends."""
+    rng = random.Random(1000 + case)
+    machine = random_table_machine(2000 + case)
+    graph = clique_graph(AB, random_clique_labels(rng))
+    outcomes = []
+    for backend in ("per-node", "count"):
+        engine = SimulationEngine(max_steps=60, stability_window=12, backend=backend)
+        result = engine.run_machine(machine, graph, SynchronousSchedule())
+        outcomes.append((result.verdict, result.steps, result.stabilised_at))
+    assert outcomes[0] == outcomes[1], (
+        f"case {case}: per-node {outcomes[0]} != count {outcomes[1]} "
+        f"on {graph!r} with {machine.name}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Layer 2: consistent automata vs exact decision (>= 50 randomized cases)
+# --------------------------------------------------------------------- #
+def random_graph(rng: random.Random, labels: list[str]):
+    """One of the standard graph shapes over the given labels."""
+    shape = rng.choice(["cycle", "line", "star", "clique", "random"])
+    if shape == "cycle" and len(labels) >= 3:
+        return cycle_graph(AB, labels)
+    if shape == "line":
+        return line_graph(AB, labels)
+    if shape == "star" and len(labels) >= 2:
+        return star_graph(AB, labels[0], labels[1:])
+    if shape == "random" and len(labels) >= 3:
+        return random_connected_graph(AB, labels, max_degree=3, seed=rng.randint(0, 10**6))
+    return clique_graph(AB, labels)
+
+
+@pytest.mark.parametrize("case", range(50))
+def test_flooding_backends_match_exact_decision(case):
+    """≥ 50 randomized instances: simulated verdicts must equal ``decide``.
+
+    The flooding automaton for ``exists(label)`` is consistent on every
+    connected graph, so the exact bottom-SCC verdict is the ground truth for
+    every backend and schedule seed.
+    """
+    rng = random.Random(5000 + case)
+    label = rng.choice("ab")
+    auto = automaton(exists_label_machine(AB, label), "dAF")
+    n = rng.randint(3, 6)
+    labels = [rng.choice("ab") for _ in range(n)]
+    graph = random_graph(rng, labels)
+    exact = decide(auto, graph).verdict
+    assert exact in (Verdict.ACCEPT, Verdict.REJECT)
+
+    engine = SimulationEngine(max_steps=4_000, stability_window=60, backend="per-node")
+    schedule = RandomExclusiveSchedule(seed=rng.randint(0, 10**6))
+    assert engine.run_machine(auto.machine, graph, schedule).verdict is exact
+
+    if graph.is_clique():
+        count_engine = SimulationEngine(
+            max_steps=4_000, stability_window=60, backend="count"
+        )
+        assert count_engine.run_machine(auto.machine, graph, schedule).verdict is exact
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_threshold_automaton_backends_match_exact_decision(case):
+    """DAF threshold automata (token accumulation) against ``decide``."""
+    rng = random.Random(7000 + case)
+    threshold = rng.randint(1, 2)
+    auto = threshold_daf_automaton(AB, "a", threshold)
+    n = rng.randint(3, 4)
+    labels = [rng.choice("ab") for _ in range(n)]
+    graph = clique_graph(AB, labels) if case % 2 == 0 else cycle_graph(AB, labels)
+    exact = decide(auto, graph, max_configurations=600_000).verdict
+    assert exact in (Verdict.ACCEPT, Verdict.REJECT)
+    engine = SimulationEngine(max_steps=30_000, stability_window=500, backend="auto")
+    result = engine.run_automaton(auto, graph, seed=rng.randint(0, 10**6))
+    assert result.verdict is exact
+
+
+def test_count_backend_agrees_with_per_node_across_seeds():
+    """Same instance, many schedule seeds: the two backends' verdicts agree
+    run by run (both are faithful samples of the same Markov chain)."""
+    machine = exists_label_machine(AB, "a")
+    graph = clique_graph(AB, ["a", "b", "b", "b", "b", "b"])
+    for seed in range(10):
+        schedule = RandomExclusiveSchedule(seed=seed)
+        verdicts = set()
+        for backend in ("per-node", "count"):
+            engine = SimulationEngine(
+                max_steps=3_000, stability_window=50, backend=backend
+            )
+            verdicts.add(engine.run_machine(machine, graph, schedule).verdict)
+        assert verdicts == {Verdict.ACCEPT}
+
+
+# --------------------------------------------------------------------- #
+# Layer 3: population protocols (agents vs counts vs exact)
+# --------------------------------------------------------------------- #
+def _lc(a: int, b: int) -> LabelCount:
+    return LabelCount.from_mapping(AB, {"a": a, "b": b})
+
+
+@pytest.mark.parametrize("case", range(12))
+def test_population_methods_match_exact_decision(case):
+    rng = random.Random(9000 + case)
+    protocol_kind = rng.choice(["majority", "threshold", "parity"])
+    if protocol_kind == "majority":
+        protocol = four_state_majority(AB)
+    elif protocol_kind == "threshold":
+        protocol = threshold_protocol(AB, "a", rng.randint(1, 3))
+    else:
+        protocol = parity_population_protocol(AB, "a")
+    a = rng.randint(0, 5)
+    b = rng.randint(0, 5)
+    if a + b < 2:
+        a, b = 2, 1
+    count = _lc(a, b)
+    exact = protocol.decide(count)
+    assert exact in (Verdict.ACCEPT, Verdict.REJECT)
+    for method in ("agents", "counts"):
+        verdict, _ = protocol.simulate(
+            count, max_steps=80_000, seed=rng.randint(0, 10**6), method=method
+        )
+        assert verdict is exact, (case, protocol.name, method, verdict, exact)

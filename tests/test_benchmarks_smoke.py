@@ -1,0 +1,88 @@
+"""Benchmark smoke tests: catch drift in ``benchmarks/`` without the full run.
+
+The benchmark drivers are not collected by the tier-1 suite (their files do
+not match ``test_*.py``), so an incompatible refactor of the library would
+only surface when somebody runs the figures.  This module keeps them honest:
+
+* every ``benchmarks/bench_*.py`` module must import cleanly (tier-1);
+* the backend-scaling helpers run one tiny parameterization (tier-1);
+* every benchmark test function executes end-to-end with a stub ``benchmark``
+  fixture (marked ``slow`` — run with ``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import Alphabet, Verdict
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(path.name for path in BENCHMARKS_DIR.glob("bench_*.py"))
+
+
+def _load(name: str):
+    path = BENCHMARKS_DIR / name
+    spec = importlib.util.spec_from_file_location(f"bench_smoke.{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/typing introspection inside the module works.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class _StubBenchmark:
+    """Duck-typed replacement for the pytest-benchmark fixture: run once."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
+
+
+def test_benchmarks_directory_is_nonempty():
+    assert len(BENCH_MODULES) >= 8
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_benchmark_module_imports(module_name):
+    """Import-time drift (renamed APIs, moved symbols) fails fast here."""
+    module = _load(module_name)
+    assert any(name.startswith("test_") for name in dir(module))
+
+
+def test_backend_scaling_tiny_parameterization():
+    """One tiny instance through the scaling helpers (the tier-1-safe run)."""
+    module = _load("bench_backends_scaling.py")
+    ab = Alphabet.of("a", "b")
+    stats = module.compare_backends(
+        ab, n=60, a_count=40, per_node_budget=200, count_max_steps=20_000, seed=1
+    )
+    assert stats["verdict"] is Verdict.ACCEPT
+    end_to_end = module.end_to_end_comparison(ab, n=40, a_count=25)
+    assert end_to_end["verdicts"]["count"] is end_to_end["verdicts"]["per-node"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_benchmark_functions_execute(module_name):
+    """Full execution of every benchmark function with a stub fixture."""
+    module = _load(module_name)
+    ab = Alphabet.of("a", "b")
+    fixtures = {"benchmark": _StubBenchmark(), "ab": ab}
+    executed = 0
+    for name, fn in inspect.getmembers(module, inspect.isfunction):
+        if not name.startswith("test_"):
+            continue
+        parameters = inspect.signature(fn).parameters
+        kwargs = {p: fixtures[p] for p in parameters if p in fixtures}
+        missing = [p for p in parameters if p not in fixtures]
+        assert not missing, f"{module_name}:{name} needs unknown fixtures {missing}"
+        fn(**kwargs)
+        executed += 1
+    assert executed >= 1

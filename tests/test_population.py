@@ -39,8 +39,50 @@ class TestPopulationSubstrate:
 
     def test_requires_two_agents_for_simulation(self, ab):
         protocol = four_state_majority(ab)
+        for method in ("agents", "counts"):
+            with pytest.raises(ValueError):
+                protocol.simulate(lc(ab, 1, 0), method=method)
+
+    def test_unknown_simulation_method_rejected(self, ab):
+        protocol = four_state_majority(ab)
         with pytest.raises(ValueError):
-            protocol.simulate(lc(ab, 1, 0))
+            protocol.simulate(lc(ab, 2, 2), method="quantum")
+
+
+class TestCountEngine:
+    """The count-vector simulation engine against the per-agent reference."""
+
+    @pytest.mark.parametrize("a, b", [(3, 2), (2, 3), (2, 2), (6, 4), (1, 5)])
+    def test_counts_method_matches_exact(self, ab, a, b):
+        protocol = four_state_majority(ab)
+        exact = protocol.decide(lc(ab, a, b))
+        verdict, _ = protocol.simulate(lc(ab, a, b), seed=1, method="counts")
+        assert verdict is exact
+
+    def test_counts_method_deterministic(self, ab):
+        protocol = four_state_majority(ab)
+        runs = [protocol.simulate(lc(ab, 4, 3), seed=9, method="counts") for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_counts_method_ignores_global_random(self, ab):
+        import random
+
+        protocol = four_state_majority(ab)
+        random.seed(0)
+        one = protocol.simulate(lc(ab, 4, 3), seed=5, method="counts")
+        random.seed(4242)
+        two = protocol.simulate(lc(ab, 4, 3), seed=5, method="counts")
+        assert one == two
+
+    def test_counts_method_scales_beyond_agent_feasibility(self, ab):
+        """A 50,000-agent threshold instance decided in count space."""
+        protocol = threshold_protocol(ab, "a", 3)
+        big = lc(ab, 25_000, 25_000)
+        verdict, steps = protocol.simulate(
+            big, max_steps=50_000_000, seed=3, method="counts"
+        )
+        assert verdict is Verdict.ACCEPT
+        assert steps > 0
 
 
 class TestMajorityBaseline:
@@ -103,3 +145,36 @@ class TestCrossModelAgreement:
             assert pp.decide(count).as_bool() == expected
             graph = cycle_graph(ab, count.to_label_sequence())
             assert gp.decide_pseudo_stochastic(graph).as_bool() == expected
+
+
+class TestAgentsEnginePersistence:
+    def test_agents_engine_confirms_consensus_across_two_checkpoints(self, ab):
+        """The agents engine must not report a consensus seen at a single
+        checkpoint — it confirms it at two consecutive 10·n checkpoints,
+        matching the counts engine's persistence window."""
+        protocol = PopulationProtocol(
+            alphabet=ab,
+            init=lambda label: "x",
+            delta=lambda p, q: (p, q),
+            accepting={"x"},
+            name="already-accepting",
+        )
+        count = lc(ab, 3, 2)  # n = 5
+        verdict, steps = protocol.simulate(
+            count, max_steps=10_000, seed=1, method="agents"
+        )
+        assert verdict is Verdict.ACCEPT
+        assert steps == 2 * 10 * 5
+
+    def test_counts_engine_agrees_on_fixed_point(self, ab):
+        protocol = PopulationProtocol(
+            alphabet=ab,
+            init=lambda label: "x",
+            delta=lambda p, q: (p, q),
+            accepting={"x"},
+            name="already-accepting",
+        )
+        verdict, _ = protocol.simulate(
+            lc(ab, 3, 2), max_steps=10_000, seed=1, method="counts"
+        )
+        assert verdict is Verdict.ACCEPT

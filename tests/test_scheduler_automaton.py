@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.automaton import ALL_CLASSES, AutomatonClass, DistributedAutomaton, automaton
@@ -100,6 +102,67 @@ class TestScheduleGenerators:
         b = RandomExclusiveSchedule(seed=11).prefix(five_cycle, 20)
         assert a == b
 
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomExclusiveSchedule(seed=5),
+            lambda: RandomLiberalSchedule(seed=5, probability=0.4),
+            lambda: RoundRobinSchedule(),
+            lambda: SynchronousSchedule(),
+            lambda: StarvingSchedule(victim=1, period=4),
+        ],
+        ids=["random-exclusive", "random-liberal", "round-robin", "synchronous", "starving"],
+    )
+    def test_every_generator_is_deterministic(self, five_cycle, factory):
+        """Same construction ⇒ identical prefix, for every generator kind."""
+        assert factory().prefix(five_cycle, 40) == factory().prefix(five_cycle, 40)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomExclusiveSchedule(seed=5),
+            lambda: RandomLiberalSchedule(seed=5, probability=0.4),
+        ],
+        ids=["random-exclusive", "random-liberal"],
+    )
+    def test_generators_ignore_global_random_state(self, five_cycle, factory):
+        """Seeded generators draw from a private Random, never ``random.seed``."""
+        import random as random_module
+
+        random_module.seed(0)
+        a = factory().prefix(five_cycle, 30)
+        random_module.seed(12345)
+        b = factory().prefix(five_cycle, 30)
+        assert a == b
+
+    def test_generators_do_not_consume_global_stream(self, five_cycle):
+        import random as random_module
+
+        random_module.seed(7)
+        expected = [random_module.random() for _ in range(3)]
+        random_module.seed(7)
+        RandomExclusiveSchedule(seed=1).prefix(five_cycle, 50)
+        RandomLiberalSchedule(seed=1).prefix(five_cycle, 50)
+        observed = [random_module.random() for _ in range(3)]
+        assert observed == expected
+
+    def test_injected_rng_is_shared_and_continues(self, five_cycle):
+        """An injected random.Random is used directly: successive prefixes
+        continue its stream instead of restarting it."""
+        import random as random_module
+
+        shared = random_module.Random(99)
+        schedule = RandomExclusiveSchedule(rng=shared)
+        first = schedule.prefix(five_cycle, 10)
+        second = schedule.prefix(five_cycle, 10)
+
+        replay = random_module.Random(99)
+        expected_first = RandomExclusiveSchedule(rng=replay).prefix(five_cycle, 10)
+        expected_second = RandomExclusiveSchedule(rng=replay).prefix(five_cycle, 10)
+        assert first == expected_first
+        assert second == expected_second
+        assert first != second  # vanishing probability of a 10-step collision
+
 
 class TestAutomatonClass:
     def test_parse_and_symbol_roundtrip(self):
@@ -174,3 +237,32 @@ class TestHierarchy:
         assert len(table) == 7
         majority_rows = [row for row in table if row.can_decide_majority_arbitrary]
         assert [row.representative for row in majority_rows] == ["DAF"]
+
+
+class TestSamplingHelpers:
+    def test_geometric_silent_steps_tiny_probability(self):
+        """log1p keeps the draw finite for activity probabilities below the
+        double-precision threshold where 1-p rounds to 1 (large populations)."""
+        from repro.core.scheduler import geometric_silent_steps
+
+        rng = random.Random(0)
+        silent = geometric_silent_steps(rng, 5e-17)
+        assert silent >= 0  # and no ZeroDivisionError
+        assert geometric_silent_steps(rng, 1.0) == 0
+
+    def test_weighted_index_respects_weights(self):
+        from repro.core.scheduler import weighted_index
+
+        rng = random.Random(1)
+        draws = [weighted_index(rng, [1, 0, 9], 10) for _ in range(500)]
+        assert 1 not in draws  # zero-weight entries are never drawn
+        assert draws.count(2) > draws.count(0)
+
+    def test_geometric_silent_steps_rejects_nonpositive_probability(self):
+        from repro.core.scheduler import geometric_silent_steps
+
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            geometric_silent_steps(rng, 0.0)
+        with pytest.raises(ValueError):
+            geometric_silent_steps(rng, -0.1)

@@ -1,11 +1,14 @@
-"""Tests for the Monte-Carlo simulation engine."""
+"""Tests for the Monte-Carlo simulation engine and its pluggable backends."""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.core.automaton import automaton
-from repro.core.graphs import cycle_graph, random_connected_graph
+from repro.core.backends import BackendUnsupported, CountBasedBackend, PerNodeBackend
+from repro.core.graphs import clique_graph, cycle_graph, implicit_clique_graph, random_connected_graph
 from repro.core.labels import Alphabet
 from repro.core.machine import DistributedMachine
 from repro.core.scheduler import RandomExclusiveSchedule, RoundRobinSchedule, SynchronousSchedule
@@ -83,6 +86,137 @@ class TestSimulationEngine:
             assert exact == simulated
 
 
+def _signature(result):
+    return (result.verdict, result.steps, result.stabilised_at, result.final_configuration)
+
+
+class TestBackendSelection:
+    def test_auto_uses_count_backend_on_cliques(self, ab):
+        engine = SimulationEngine(backend="auto")
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b"])
+        schedule = RandomExclusiveSchedule(seed=0)
+        assert isinstance(engine.backend_for(machine, clique, schedule), CountBasedBackend)
+
+    def test_auto_falls_back_per_node_off_clique(self, ab):
+        engine = SimulationEngine(backend="auto")
+        machine = flooding_machine(ab)
+        cycle = cycle_graph(ab, ["a", "b", "b", "b"])
+        schedule = RandomExclusiveSchedule(seed=0)
+        assert isinstance(engine.backend_for(machine, cycle, schedule), PerNodeBackend)
+
+    def test_trace_recording_forces_per_node(self, ab):
+        engine = SimulationEngine(backend="auto", record_trace=True)
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b"])
+        schedule = RandomExclusiveSchedule(seed=0)
+        assert isinstance(engine.backend_for(machine, clique, schedule), PerNodeBackend)
+
+    def test_explicit_count_backend_rejects_non_clique(self, ab):
+        engine = SimulationEngine(backend="count")
+        machine = flooding_machine(ab)
+        cycle = cycle_graph(ab, ["a", "b", "b", "b"])
+        with pytest.raises(BackendUnsupported):
+            engine.run_machine(machine, cycle, RandomExclusiveSchedule(seed=0))
+
+    def test_unknown_backend_name_rejected(self, ab):
+        engine = SimulationEngine(backend="gpu")
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b"])
+        with pytest.raises(ValueError):
+            engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=0))
+
+    def test_count_backend_matches_per_node_verdict(self, ab):
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b", "b", "b"])
+        verdicts = set()
+        for backend in ("per-node", "count"):
+            engine = SimulationEngine(max_steps=2000, stability_window=50, backend=backend)
+            verdicts.add(
+                engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=4)).verdict
+            )
+        assert verdicts == {Verdict.ACCEPT}
+
+    def test_count_backend_on_implicit_clique(self, ab):
+        machine = flooding_machine(ab)
+        graph = implicit_clique_graph(ab, ["a"] + ["b"] * 499)
+        engine = SimulationEngine(max_steps=50_000, stability_window=100, backend="count")
+        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=1))
+        assert result.verdict is Verdict.ACCEPT
+        assert result.stabilised_at is not None
+
+    def test_machine_simulate_convenience(self, ab):
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b"])
+        result = machine.simulate(clique, seed=2, max_steps=2000, stability_window=50)
+        assert result.verdict is Verdict.ACCEPT
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical run, for every backend and schedule generator."""
+
+    @pytest.mark.parametrize("backend", ["per-node", "count"])
+    def test_same_seed_same_run_on_clique(self, ab, backend):
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=2000, stability_window=50, backend=backend)
+        runs = [
+            engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=11))
+            for _ in range(2)
+        ]
+        assert _signature(runs[0]) == _signature(runs[1])
+
+    @pytest.mark.parametrize(
+        "schedule_factory",
+        [
+            lambda: RandomExclusiveSchedule(seed=13),
+            lambda: RoundRobinSchedule(),
+            lambda: SynchronousSchedule(),
+        ],
+        ids=["random-exclusive", "round-robin", "synchronous"],
+    )
+    def test_same_seed_same_run_per_schedule(self, ab, schedule_factory):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=2000, stability_window=50)
+        runs = [engine.run_machine(machine, g, schedule_factory()) for _ in range(2)]
+        assert _signature(runs[0]) == _signature(runs[1])
+
+    def test_traces_identical_with_same_seed(self, ab):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=300, stability_window=30, record_trace=True)
+        one = engine.run_machine(machine, g, RandomExclusiveSchedule(seed=21))
+        two = engine.run_machine(machine, g, RandomExclusiveSchedule(seed=21))
+        assert one.trace == two.trace
+
+    @pytest.mark.parametrize("backend", ["per-node", "count"])
+    def test_global_seeding_does_not_affect_engine(self, ab, backend):
+        """Reseeding the global ``random`` module must not change engine output."""
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=2000, stability_window=50, backend=backend)
+
+        random.seed(1)
+        one = engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=3))
+        random.seed(999_999)
+        two = engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=3))
+        assert _signature(one) == _signature(two)
+
+    def test_engine_does_not_consume_global_random_stream(self, ab):
+        """The engine must not advance the global random generator."""
+        machine = flooding_machine(ab)
+        clique = clique_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=2000, stability_window=50, backend="auto")
+
+        random.seed(42)
+        expected = [random.random() for _ in range(5)]
+        random.seed(42)
+        engine.run_machine(machine, clique, RandomExclusiveSchedule(seed=8))
+        observed = [random.random() for _ in range(5)]
+        assert observed == expected
+
+
 class TestHelpers:
     def test_synchronous_trace_length(self, ab):
         machine = flooding_machine(ab)
@@ -96,3 +230,151 @@ class TestHelpers:
         config = ("yes", "no", "no")
         assert set(enabled_nodes(machine, g, config)) == {1, 2}
         assert enabled_nodes(machine, g, ("yes", "yes", "yes")) == []
+
+
+class TestReviewRegressions:
+    """Regressions from the backend-architecture review."""
+
+    def overlap_machine(self, ab):
+        # accepting/rejecting predicates are not validated for disjointness;
+        # every state here is accepting and "b-holders" are also rejecting.
+        return DistributedMachine(
+            alphabet=ab, beta=1,
+            init=lambda label: label,
+            delta=lambda state, neighborhood: state,
+            accepting=lambda s: True,
+            rejecting=lambda s: s == "b",
+            name="overlap",
+        )
+
+    def test_consensus_of_counts_matches_consensus_value_on_overlap(self, ab):
+        from repro.core.configuration import consensus_of_counts, consensus_value
+
+        machine = self.overlap_machine(ab)
+        # consensus_value tie-breaks accept-first on an all-overlapping
+        # configuration; the count-level evaluation must mirror it.
+        assert consensus_value(machine, ("b", "b", "b")) is True
+        assert consensus_of_counts(machine, {"b": 3}) is True
+        assert consensus_of_counts(machine, {"a": 1, "b": 2}) is True
+
+    def test_backends_agree_on_overlapping_predicates(self, ab):
+        machine = self.overlap_machine(ab)
+        labels = ["b", "b", "b", "b"]
+        per_node = SimulationEngine(
+            max_steps=200, stability_window=20, backend="per-node"
+        ).run_machine(machine, clique_graph(ab, labels), RandomExclusiveSchedule(seed=2))
+        count = SimulationEngine(
+            max_steps=200, stability_window=20, backend="count"
+        ).run_machine(
+            machine, implicit_clique_graph(ab, labels), RandomExclusiveSchedule(seed=2)
+        )
+        assert per_node.verdict is Verdict.ACCEPT
+        assert count.verdict is Verdict.ACCEPT
+
+    def test_run_many_synchronous_simulates_once(self, ab, monkeypatch):
+        from repro.core.scheduler import SelectionMode
+
+        auto = automaton(
+            flooding_machine(ab), "dAF", selection=SelectionMode.SYNCHRONOUS
+        )
+        g = cycle_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=200, stability_window=10)
+        calls = 0
+        original = SimulationEngine.run_machine
+
+        def counting(self, *args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SimulationEngine, "run_machine", counting)
+        batch = engine.run_many(auto, g, runs=7, base_seed=3)
+        # The synchronous run is unique: one simulation, replicated outcomes.
+        assert calls == 1
+        assert batch.runs_executed == 7
+        assert len(set(batch.steps)) == 1
+        assert batch.consensus is Verdict.ACCEPT
+
+    def test_count_backend_memoises_only_when_beta_binds(self, ab):
+        from repro.core.backends import _CountRun
+
+        capped = flooding_machine(ab)  # beta=1 < n-1: the cap binds
+        run = _CountRun(capped, 5, {"yes": 1, "no": 4})
+        assert run._memoise
+        run._next_state("no")
+        assert len(run._delta_cache) == 1
+
+        uncapped = DistributedMachine(
+            alphabet=ab, beta=5,
+            init=lambda label: "yes" if label == "a" else "no",
+            delta=lambda state, neighborhood: state,
+            accepting={"yes"}, rejecting={"no"}, name="uncapped",
+        )
+        run = _CountRun(uncapped, 5, {"yes": 1, "no": 4})
+        assert not run._memoise
+        run._next_state("no")
+        assert run._delta_cache == {}
+
+    def test_machine_simulate_rejects_schedule_plus_seed(self, ab):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b"])
+        with pytest.raises(ValueError, match="not both"):
+            machine.simulate(g, RandomExclusiveSchedule(seed=1), seed=7)
+        # seed alone still parameterises the default schedule
+        one = machine.simulate(g, seed=7, max_steps=500, stability_window=20)
+        two = machine.simulate(g, seed=7, max_steps=500, stability_window=20)
+        assert (one.verdict, one.steps) == (two.verdict, two.steps)
+
+    def test_run_many_synchronous_ignores_quorum(self, ab):
+        """quorum must not truncate the replicated deterministic batch —
+        no compute is saved, and stopped_early would misreport it."""
+        from repro.core.scheduler import SelectionMode
+
+        auto = automaton(
+            flooding_machine(ab), "dAF", selection=SelectionMode.SYNCHRONOUS
+        )
+        g = cycle_graph(ab, ["a", "b", "b", "b"])
+        engine = SimulationEngine(max_steps=200, stability_window=10)
+        batch = engine.run_many(auto, g, runs=10, base_seed=0, quorum=0.5)
+        assert batch.runs_executed == 10
+        assert not batch.stopped_early
+
+    def test_run_many_synchronous_still_validates_quorum(self, ab):
+        from repro.core.scheduler import SelectionMode
+
+        auto = automaton(
+            flooding_machine(ab), "dAF", selection=SelectionMode.SYNCHRONOUS
+        )
+        g = cycle_graph(ab, ["a", "b", "b"])
+        engine = SimulationEngine(max_steps=100, stability_window=10)
+        with pytest.raises(ValueError, match="quorum"):
+            engine.run_many(auto, g, runs=5, quorum=5.0)
+
+    def test_run_result_unpacks_like_sibling_simulate_apis(self, ab):
+        """`verdict, steps = machine.simulate(...)` must work, matching the
+        (verdict, steps) tuples returned by the population/broadcast APIs."""
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b"])
+        result = machine.simulate(g, seed=5, max_steps=500, stability_window=20)
+        verdict, steps = result
+        assert verdict is result.verdict is Verdict.ACCEPT
+        assert steps == result.steps > 0
+
+    def test_schedule_subclass_falls_back_to_per_node(self, ab):
+        """A RandomExclusiveSchedule subclass may override selections();
+        the count backend never consults that stream, so 'auto' must keep
+        the subclass on the per-node backend."""
+
+        class BiasedSchedule(RandomExclusiveSchedule):
+            def selections(self, graph):
+                while True:
+                    yield frozenset((0,))  # always node 0
+
+        machine = flooding_machine(ab)
+        g = clique_graph(ab, ["a", "b", "b"])
+        engine = SimulationEngine(max_steps=100, stability_window=10, backend="auto")
+        backend = engine.backend_for(machine, g, BiasedSchedule(seed=1))
+        assert isinstance(backend, PerNodeBackend)
+        # the exact classes still go to the count backend
+        backend = engine.backend_for(machine, g, RandomExclusiveSchedule(seed=1))
+        assert isinstance(backend, CountBasedBackend)
