@@ -13,6 +13,12 @@ The acceptance series for the backend architecture:
   two orders of magnitude beyond the seed's experiments;
 * the count-vector population-protocol engine at 10⁴ agents.
 
+The measurement code is shared with ``python -m repro bench``
+(:mod:`repro.experiments.backends_bench`), and every stat collected here is
+written to ``BENCH_backends.json`` at the end of the session
+(:mod:`repro.experiments.benchjson`), so the perf trajectory is machine
+readable instead of vanishing into the console.
+
 Populations this size need :class:`repro.core.graphs.ImplicitCliqueGraph`;
 an explicit 10⁴-node clique would materialise ~5·10⁷ edge objects.
 """
@@ -20,113 +26,32 @@ an explicit 10⁴-node clique would materialise ~5·10⁷ edge objects.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
-from repro.core import (
-    Alphabet,
-    DistributedMachine,
-    RandomExclusiveSchedule,
-    SimulationEngine,
-    Verdict,
-    implicit_clique_graph,
-)
+import pytest
+
+from repro.core import SimulationEngine, Verdict, implicit_clique_graph
 from repro.core.labels import LabelCount
 from repro.constructions import exists_label_machine
+from repro.experiments.backends_bench import compare_backends, end_to_end_comparison
+from repro.experiments.benchjson import write_bench_json
 from repro.population import threshold_protocol
 
-
-def local_majority_machine(alphabet: Alphabet, n: int) -> DistributedMachine:
-    """Adopt the majority state among the neighbours (clique majority).
-
-    On a clique every node sees the global counts minus itself, so with a
-    margin ≥ 2 the initial majority is invariant and the run stabilises once
-    every minority node has moved — a genuine majority instance that both
-    backends can simulate.  ``beta = n`` makes the counting effectively
-    uncapped, as the comparison needs true counts.
-    """
-
-    def delta(state, neighborhood):
-        a = neighborhood.count("a")
-        b = neighborhood.count("b")
-        if a > b:
-            return "a"
-        if b > a:
-            return "b"
-        return state
-
-    return DistributedMachine(
-        alphabet=alphabet,
-        beta=n,
-        init=lambda label: label,
-        delta=delta,
-        accepting={"a"},
-        rejecting={"b"},
-        name=f"clique-majority(n={n})",
-    )
+#: Stats accumulated by the tests in this module; written out at session end.
+_BENCH_ENTRIES: list[dict] = []
 
 
-def compare_backends(
-    ab: Alphabet,
-    n: int,
-    a_count: int,
-    per_node_budget: int,
-    count_max_steps: int,
-    seed: int = 1,
-) -> dict:
-    """Time both backends on one majority instance; see the module docstring.
-
-    The per-node backend runs a fixed step budget (running it to
-    stabilisation at n=10⁴ would take minutes); its per-step cost times the
-    count backend's full trajectory length estimates the full per-node run.
-    """
-    machine = local_majority_machine(ab, n)
-    labels = ["a"] * a_count + ["b"] * (n - a_count)
-    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
-
-    count_engine = SimulationEngine(
-        max_steps=count_max_steps, stability_window=200, backend="count"
-    )
-    start = time.perf_counter()
-    count_run = count_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
-    count_time = time.perf_counter() - start
-
-    per_node_engine = SimulationEngine(
-        max_steps=per_node_budget, stability_window=10**9, backend="per-node"
-    )
-    start = time.perf_counter()
-    per_node_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
-    per_node_time = time.perf_counter() - start
-
-    per_node_step_cost = per_node_time / per_node_budget
-    estimated_full_per_node = per_node_step_cost * count_run.steps
-    return {
-        "n": n,
-        "verdict": count_run.verdict,
-        "count_steps": count_run.steps,
-        "count_time": count_time,
-        "per_node_budget": per_node_budget,
-        "per_node_time": per_node_time,
-        "speedup": estimated_full_per_node / max(count_time, 1e-9),
-    }
-
-
-def end_to_end_comparison(ab: Alphabet, n: int, a_count: int, seed: int = 2) -> dict:
-    """Both backends run the same instance to stabilisation (feasible n)."""
-    machine = local_majority_machine(ab, n)
-    labels = ["a"] * a_count + ["b"] * (n - a_count)
-    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
-    timings = {}
-    verdicts = {}
-    for backend in ("count", "per-node"):
-        engine = SimulationEngine(max_steps=200_000, stability_window=200, backend=backend)
-        start = time.perf_counter()
-        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
-        timings[backend] = time.perf_counter() - start
-        verdicts[backend] = result.verdict
-    return {
-        "verdicts": verdicts,
-        "timings": timings,
-        "speedup": timings["per-node"] / max(timings["count"], 1e-9),
-    }
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write ``BENCH_backends.json`` (repo root) after the module's tests ran."""
+    yield
+    if _BENCH_ENTRIES:
+        write_bench_json(
+            Path(__file__).resolve().parent.parent / "BENCH_backends.json",
+            "backends",
+            _BENCH_ENTRIES,
+            meta={"source": "benchmarks/bench_backends_scaling.py"},
+        )
 
 
 def test_count_backend_10k_clique_majority_speedup(benchmark, ab):
@@ -137,6 +62,7 @@ def test_count_backend_10k_clique_majority_speedup(benchmark, ab):
         rounds=1,
         iterations=1,
     )
+    _BENCH_ENTRIES.append({"name": "count-vs-per-node-estimated", **stats})
     assert stats["verdict"] is Verdict.ACCEPT
     assert stats["speedup"] >= 20, f"only {stats['speedup']:.1f}x"
     print(
@@ -152,6 +78,7 @@ def test_backends_agree_end_to_end(benchmark, ab):
     stats = benchmark.pedantic(
         end_to_end_comparison, args=(ab, 600, 330), rounds=1, iterations=1
     )
+    _BENCH_ENTRIES.append({"name": "count-vs-per-node-end-to-end", "n": 600, **stats})
     assert stats["verdicts"]["count"] is Verdict.ACCEPT
     assert stats["verdicts"]["per-node"] is Verdict.ACCEPT
     assert stats["speedup"] >= 20, f"only {stats['speedup']:.1f}x"
@@ -168,9 +95,22 @@ def test_batched_runner_with_quorum(benchmark, ab):
     engine = SimulationEngine(max_steps=500_000, stability_window=200, backend="auto")
 
     def run():
-        return engine.run_many(machine, graph, runs=20, base_seed=0, quorum=0.5)
+        start = time.perf_counter()
+        batch = engine.run_many(machine, graph, runs=20, base_seed=0, quorum=0.5)
+        return batch, time.perf_counter() - start
 
-    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    batch, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    _BENCH_ENTRIES.append(
+        {
+            "name": "batched-runner-quorum",
+            "n": 5_000,
+            "runs_executed": batch.runs_executed,
+            "planned_runs": batch.planned_runs,
+            "consensus": batch.consensus,
+            "stopped_early": batch.stopped_early,
+            "wall_time": elapsed,
+        }
+    )
     assert batch.consensus is Verdict.ACCEPT
     assert batch.stopped_early
     print(f"\n[backends] batch on n=5,000 clique: {batch.summary()}")
@@ -189,6 +129,15 @@ def test_population_count_engine_10k_agents(benchmark, ab):
         return verdict, steps, time.perf_counter() - start
 
     verdict, steps, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    _BENCH_ENTRIES.append(
+        {
+            "name": "population-count-engine",
+            "agents": 10_000,
+            "verdict": verdict,
+            "steps": steps,
+            "wall_time": elapsed,
+        }
+    )
     assert verdict is Verdict.ACCEPT
     print(
         f"\n[backends] population threshold(a≥3), 10,000 agents: {verdict.value} "

@@ -66,6 +66,7 @@ from repro.core.scheduler import (
     resolve_rng,
     weighted_index,
 )
+from repro.core.streaks import ConsensusStreakDriver
 
 
 class BackendUnsupported(RuntimeError):
@@ -244,7 +245,8 @@ _MISS = object()  # cache-miss sentinel: None is a legitimate cached state
 
 
 class _CountRun:
-    """One count-vector run: memoised transitions plus streak bookkeeping."""
+    """One count-vector run: memoised transitions on top of the shared
+    :class:`~repro.core.streaks.ConsensusStreakDriver` bookkeeping."""
 
     def __init__(self, machine: DistributedMachine, n: int, counts: dict[State, int]):
         self.machine = machine
@@ -255,10 +257,9 @@ class _CountRun:
         # key, so the cache would grow with the trajectory and never hit.
         self._memoise = machine.beta < n - 1
         self._delta_cache: dict[tuple[State, Neighborhood], State] = {}
-        self.step = 0
-        self.consensus_streak = 0
-        self.stabilised_at: int | None = None
-        self.last_consensus = consensus_of_counts(machine, self.counts)
+
+    def _consensus(self) -> bool | None:
+        return consensus_of_counts(self.machine, self.counts)
 
     # -- transition evaluation ------------------------------------------ #
     def _next_state(self, state: State) -> State:
@@ -288,66 +289,22 @@ class _CountRun:
                 movers.append((state, nxt, self.counts[state]))
         return movers
 
-    # -- streak bookkeeping -------------------------------------------- #
-    def _consume_silent(self, silent: int, max_steps: int) -> bool:
-        """Advance through ``silent`` steps that do not change the counts.
-
-        Returns ``True`` if the run stabilised (or exhausted ``max_steps``)
-        during the stretch.  Mirrors the per-node backend exactly: during a
-        silent stretch the consensus value is constant, so the consensus
-        streak grows by one per step while a consensus exists.
-        """
-        if silent <= 0:
-            return self.step >= max_steps
-        value = consensus_of_counts(self.machine, self.counts)
-        if value is not None:
-            needed = self.consensus_streak + silent  # streak after the stretch
-            to_stabilise = (  # steps until the streak reaches the window
-                max(0, self._window - self.consensus_streak)
-                if self.consensus_streak < self._window
-                else 0
-            )
-            if needed >= self._window and self.step + to_stabilise <= max_steps:
-                self.step += to_stabilise
-                self.consensus_streak = self._window
-                self.stabilised_at = self.step
-                return True
-        take = min(silent, max_steps - self.step)
-        self.step += take
-        if value is not None:
-            self.consensus_streak += take
-        return self.step >= max_steps
-
-    def _after_change(self) -> bool:
-        """Update streaks after a count-changing step; True if stabilised."""
-        current = consensus_of_counts(self.machine, self.counts)
-        if current is not None and current == self.last_consensus:
-            self.consensus_streak += 1
-        else:
-            self.consensus_streak = 0
-        self.last_consensus = current
-        if self.consensus_streak >= self._window:
-            self.stabilised_at = self.step
-            return True
-        return False
-
     # -- drivers --------------------------------------------------------- #
     def run_exclusive(self, rng, max_steps: int, window: int) -> RunResult:
         """Uniform random exclusive scheduling, sampled at the count level."""
-        self._window = window
+        driver = ConsensusStreakDriver(window, max_steps, self._consensus())
         n = self.n
-        while self.step < max_steps:
+        while driver.step < max_steps:
             movers = self._movers()
             active_mass = sum(count for _, _, count in movers)
             if active_mass == 0:
                 # Fixed point: every remaining step is silent.
-                self._consume_silent(max_steps - self.step, max_steps)
+                driver.finish_at_fixed_point(self._consensus())
                 break
             silent = geometric_silent_steps(rng, active_mass / n)
-            if self._consume_silent(silent, max_steps):
+            if silent and driver.advance_silent(silent, self._consensus()):
                 break
             # The active step: pick a mover state weighted by its count.
-            self.step += 1
             state, nxt, _ = movers[
                 weighted_index(rng, [count for _, _, count in movers], active_mass)
             ]
@@ -355,14 +312,14 @@ class _CountRun:
             if self.counts[state] == 0:
                 del self.counts[state]
             self.counts[nxt] = self.counts.get(nxt, 0) + 1
-            if self._after_change():
+            if driver.record_active(self._consensus()):
                 break
-        return self._finish()
+        return self._finish(driver)
 
     def run_synchronous(self, max_steps: int, window: int) -> RunResult:
         """The unique synchronous run, advanced as pure count arithmetic."""
-        self._window = window
-        while self.step < max_steps:
+        driver = ConsensusStreakDriver(window, max_steps, self._consensus())
+        while driver.step < max_steps:
             new_counts: dict[State, int] = {}
             for state in sorted(self.counts, key=repr):
                 nxt = self._next_state(state)
@@ -371,18 +328,19 @@ class _CountRun:
                 # Count-level fixed point: views never change again, so the
                 # per-state transition map (and hence the counts and the
                 # consensus value) is constant for the rest of the run.
-                self._consume_silent(max_steps - self.step, max_steps)
+                driver.finish_at_fixed_point(self._consensus())
                 break
-            self.step += 1
             self.counts = new_counts
-            if self._after_change():
+            if driver.record_active(self._consensus()):
                 break
-        return self._finish()
+        return self._finish(driver)
 
-    def _finish(self) -> RunResult:
-        final_value = consensus_of_counts(self.machine, self.counts)
+    def _finish(self, driver: ConsensusStreakDriver) -> RunResult:
+        final_value = self._consensus()
         configuration = configuration_from_counts(self.counts)
-        return _result(final_value, self.step, configuration, self.stabilised_at, None)
+        return _result(
+            final_value, driver.step, configuration, driver.stabilised_at, None
+        )
 
 
 # ---------------------------------------------------------------------- #

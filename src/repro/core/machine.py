@@ -330,3 +330,26 @@ def table_machine(
         states=frozenset(states),
         name=name,
     )
+
+
+def _resolve_annotation_targets() -> None:
+    """Bind the ``TYPE_CHECKING``-only names into this module's namespace.
+
+    The annotations on :meth:`DistributedMachine.simulate` reference
+    ``LabeledGraph``, ``ScheduleGenerator``, ``SimulationBackend`` and
+    ``RunResult``, which this module cannot import at the top level (backends,
+    results and configuration all import machine).  ``typing.get_type_hints``
+    evaluates those strings in this module's globals, so
+    :mod:`repro.core.__init__` — which imports every core module and therefore
+    always runs before anything can hold a reference to this module's
+    classes — calls this hook once the import graph is complete.
+    """
+    from repro.core.backends import SimulationBackend
+    from repro.core.graphs import LabeledGraph
+    from repro.core.results import RunResult
+    from repro.core.scheduler import ScheduleGenerator
+
+    globals().setdefault("LabeledGraph", LabeledGraph)
+    globals().setdefault("RunResult", RunResult)
+    globals().setdefault("ScheduleGenerator", ScheduleGenerator)
+    globals().setdefault("SimulationBackend", SimulationBackend)

@@ -1,0 +1,57 @@
+"""Experiment orchestration: declarative specs, parallel sweeps, result store.
+
+This package is the layer that drives every runnable workload of the
+reproduction at scale, the way sampling-based toolboxes package their
+analyses behind a declarative front end:
+
+* :mod:`repro.experiments.scenarios` — a registry exposing every workload
+  (detection machines, the broadcast/absence/rendez-vous compilations,
+  population protocols) behind one factory interface keyed by scenario name
+  and a plain parameter dict;
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec`, a dict/JSON
+  round-trippable description of scenario × parameter grid × runs × backend
+  that expands deterministically into per-run tasks seeded via
+  :func:`repro.core.batch.derive_seed`;
+* :mod:`repro.experiments.executor` — a parallel sweep executor on
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked dispatch,
+  per-task timeouts and failure isolation;
+* :mod:`repro.experiments.store` — a JSONL result store with content-hashed
+  spec keys, so interrupted sweeps resume instead of recomputing;
+* :mod:`repro.experiments.report` — aggregation of stored runs into
+  :class:`~repro.core.batch.BatchResult` per grid point and
+  :class:`~repro.analysis.harness.AgreementReport` per scenario;
+* :mod:`repro.experiments.cli` — the ``python -m repro`` command line
+  (``run``, ``list-scenarios``, ``report``, ``bench``).
+"""
+
+from repro.experiments.executor import SweepRunSummary, run_spec
+from repro.experiments.report import PointSummary, agreement_reports, summarise, sweep_table
+from repro.experiments.scenarios import (
+    Scenario,
+    ScenarioInstance,
+    build_instance,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.experiments.spec import ExperimentSpec, RunTask, SweepSpec
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "ExperimentSpec",
+    "PointSummary",
+    "ResultStore",
+    "RunTask",
+    "Scenario",
+    "ScenarioInstance",
+    "SweepRunSummary",
+    "SweepSpec",
+    "agreement_reports",
+    "build_instance",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_spec",
+    "summarise",
+    "sweep_table",
+]

@@ -1,0 +1,128 @@
+"""Backend-scaling measurements shared by the benchmark driver and the CLI.
+
+The comparison logic used to live inside
+``benchmarks/bench_backends_scaling.py``; it moved here so that both the
+pytest benchmark (which asserts the ≥ 20× acceptance criterion) and
+``python -m repro bench`` (which writes the ``BENCH_backends.json`` artifact)
+run the *same* measurement code instead of drifting apart.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    Alphabet,
+    RandomExclusiveSchedule,
+    SimulationEngine,
+    implicit_clique_graph,
+)
+from repro.core.labels import LabelCount
+from repro.experiments.scenarios import local_majority_machine
+
+
+def compare_backends(
+    ab: Alphabet,
+    n: int,
+    a_count: int,
+    per_node_budget: int,
+    count_max_steps: int,
+    seed: int = 1,
+) -> dict:
+    """Time both backends on one clique-majority instance.
+
+    The per-node backend runs a fixed step budget (running it to
+    stabilisation at n=10⁴ would take minutes); its per-step cost times the
+    count backend's full trajectory length estimates the full per-node run.
+    """
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
+
+    count_engine = SimulationEngine(
+        max_steps=count_max_steps, stability_window=200, backend="count"
+    )
+    start = time.perf_counter()
+    count_run = count_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+    count_time = time.perf_counter() - start
+
+    per_node_engine = SimulationEngine(
+        max_steps=per_node_budget, stability_window=10**9, backend="per-node"
+    )
+    start = time.perf_counter()
+    per_node_engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+    per_node_time = time.perf_counter() - start
+
+    per_node_step_cost = per_node_time / per_node_budget
+    estimated_full_per_node = per_node_step_cost * count_run.steps
+    return {
+        "n": n,
+        "verdict": count_run.verdict,
+        "count_steps": count_run.steps,
+        "count_time": count_time,
+        "per_node_budget": per_node_budget,
+        "per_node_time": per_node_time,
+        "speedup": estimated_full_per_node / max(count_time, 1e-9),
+    }
+
+
+def end_to_end_comparison(ab: Alphabet, n: int, a_count: int, seed: int = 2) -> dict:
+    """Both backends run the same instance to stabilisation (feasible n)."""
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    graph = implicit_clique_graph(ab, labels, name=f"clique-{n}")
+    timings = {}
+    verdicts = {}
+    for backend in ("count", "per-node"):
+        engine = SimulationEngine(max_steps=200_000, stability_window=200, backend=backend)
+        start = time.perf_counter()
+        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+        timings[backend] = time.perf_counter() - start
+        verdicts[backend] = result.verdict
+    return {
+        "verdicts": verdicts,
+        "timings": timings,
+        "speedup": timings["per-node"] / max(timings["count"], 1e-9),
+    }
+
+
+def population_count_engine_stats(ab: Alphabet, agents: int, seed: int = 3) -> dict:
+    """The population-protocol count engine on a large threshold instance."""
+    from repro.population import threshold_protocol
+
+    protocol = threshold_protocol(ab, "a", 3)
+    half = agents // 2
+    count = LabelCount.from_mapping(ab, {"a": half, "b": agents - half})
+    start = time.perf_counter()
+    verdict, steps = protocol.simulate(
+        count, max_steps=20_000_000, seed=seed, method="counts"
+    )
+    return {
+        "agents": agents,
+        "verdict": verdict,
+        "steps": steps,
+        "wall_time": time.perf_counter() - start,
+    }
+
+
+def backend_scaling_entries(quick: bool = False) -> list[dict]:
+    """The ``BENCH_backends.json`` entry list; ``quick`` shrinks the sizes."""
+    ab = Alphabet.of("a", "b")
+    scale = (
+        dict(n=2_000, a_count=1_100, per_node_budget=400, count_max_steps=120_000,
+             e2e_n=300, e2e_a=170, agents=2_000)
+        if quick
+        else dict(n=10_000, a_count=5_500, per_node_budget=800, count_max_steps=400_000,
+                  e2e_n=600, e2e_a=330, agents=10_000)
+    )
+    entries: list[dict] = []
+    stats = compare_backends(
+        ab, scale["n"], scale["a_count"], scale["per_node_budget"], scale["count_max_steps"]
+    )
+    entries.append({"name": "count-vs-per-node-estimated", **stats})
+    e2e = end_to_end_comparison(ab, scale["e2e_n"], scale["e2e_a"])
+    entries.append({"name": "count-vs-per-node-end-to-end", "n": scale["e2e_n"], **e2e})
+    entries.append(
+        {"name": "population-count-engine", **population_count_engine_stats(ab, scale["agents"])}
+    )
+    return entries

@@ -1,0 +1,55 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Benchmarks used to print their numbers and exit, which left the perf
+trajectory of the repo empty: nothing machine-readable survived a run.  This
+module is the one place that writes ``BENCH_*.json`` files, shared by the
+pytest benchmark drivers and the ``python -m repro bench`` CLI, so every
+artifact has the same shape:
+
+.. code-block:: json
+
+    {"bench": "backends", "schema": 1, "written_at": "2026-07-29T12:00:00Z",
+     "entries": [{"name": "...", "wall_time": 1.23, ...}, ...]}
+
+Entries are free-form dicts per measurement; non-JSON values (e.g.
+:class:`~repro.core.results.Verdict`) are stringified rather than rejected so
+benchmark code can dump its stats dicts directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Verdict and friends: prefer the enum value, fall back to str().
+    return getattr(value, "value", str(value))
+
+
+def write_bench_json(
+    path: str | Path,
+    bench: str,
+    entries: list[dict],
+    meta: dict | None = None,
+) -> Path:
+    """Write a ``BENCH_*.json`` artifact; returns the path written."""
+    path = Path(path)
+    payload = {
+        "bench": bench,
+        "schema": 1,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": [_jsonable(entry) for entry in entries],
+    }
+    if meta:
+        payload["meta"] = _jsonable(meta)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

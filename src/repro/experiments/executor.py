@@ -1,0 +1,238 @@
+"""The parallel sweep executor: chunked dispatch, timeouts, failure isolation.
+
+:func:`run_spec` expands an :class:`~repro.experiments.spec.ExperimentSpec`
+into per-run tasks, filters out the ones the result store already holds, and
+executes the rest — in-process when ``workers <= 1`` (the reference path the
+determinism tests compare against) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
+
+Scenario instances are rebuilt *inside* the workers from ``(scenario name,
+params)`` via the registry — machines close over lambdas and are not
+picklable, so nothing but plain dicts ever crosses the process boundary.
+Tasks are dispatched in chunks to amortise the per-submission overhead; a
+chunk-local instance cache means the ``runs`` runs of a grid point that land
+in the same chunk build their machine once.
+
+Failure isolation is per task: an exception inside one run produces a
+``status="failed"`` record (with the error) and the sweep continues.  On
+POSIX a per-task wall-clock timeout is enforced with an interval timer inside
+the worker (``status="timeout"``); both statuses are retried on resume.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.experiments.scenarios import build_instance
+from repro.experiments.spec import ExperimentSpec, canonical_json
+from repro.experiments.store import ResultStore
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when a task exceeds its wall-clock budget."""
+
+
+class _Alarm:
+    """Per-task wall-clock budget via ``SIGALRM`` (POSIX main thread only)."""
+
+    def __init__(self, seconds: float | None):
+        self.seconds = seconds
+        self.active = (
+            seconds is not None
+            and seconds > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def __enter__(self):
+        if self.active:
+            self._previous = signal.signal(signal.SIGALRM, self._fire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.active:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+    @staticmethod
+    def _fire(signum, frame):
+        raise TaskTimeout()
+
+
+def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
+    """Execute one task dict; never raises — failures become records."""
+    record = {
+        "task_id": task["task_id"],
+        "point_index": task["point_index"],
+        "scenario": task["scenario"],
+        "params": task["params"],
+        "run_index": task["run_index"],
+        "seed": task["seed"],
+    }
+    start = time.perf_counter()
+    try:
+        with _Alarm(task_timeout):
+            cache_key = (task["scenario"], canonical_json(task["params"]))
+            instance = cache.get(cache_key)
+            if instance is None:
+                instance = build_instance(task["scenario"], task["params"])
+                cache[cache_key] = instance
+            outcome = instance.run_once(
+                seed=task["seed"],
+                max_steps=task["max_steps"],
+                stability_window=task["stability_window"],
+                backend=task["backend"],
+            )
+    except TaskTimeout:
+        record.update(status="timeout", error=f"exceeded {task_timeout}s")
+    except Exception as exc:  # noqa: BLE001 - failure isolation is the point
+        record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
+    else:
+        record.update(
+            status="ok",
+            verdict=outcome.verdict.value,
+            steps=outcome.steps,
+            expected=instance.expected,
+        )
+    record["wall_time"] = round(time.perf_counter() - start, 6)
+    return record
+
+
+def _run_chunk(tasks: list[dict], task_timeout: float | None) -> list[dict]:
+    """Worker entry point: run a chunk of tasks with a shared instance cache."""
+    cache: dict = {}
+    return [_run_task(task, task_timeout, cache) for task in tasks]
+
+
+@dataclass
+class SweepRunSummary:
+    """What a :func:`run_spec` call did; ``records`` holds the new records."""
+
+    spec_key: str
+    total_tasks: int
+    skipped: int
+    executed: int = 0
+    ok: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    wall_time: float = 0.0
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task of the spec now has a successful record."""
+        return self.skipped + self.ok == self.total_tasks
+
+    def summary(self) -> str:
+        return (
+            f"spec {self.spec_key}: {self.total_tasks} tasks, "
+            f"{self.skipped} already stored, {self.executed} executed "
+            f"({self.ok} ok, {self.failed} failed, {self.timeouts} timeout) "
+            f"in {self.wall_time:.2f}s"
+        )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    store: ResultStore | None = None,
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    task_timeout: float | None = None,
+    resume: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> SweepRunSummary:
+    """Execute every not-yet-stored task of ``spec``; see the module docstring.
+
+    With a ``store``, completed tasks (status ``ok``) are skipped when
+    ``resume`` is true and new records are appended chunk by chunk, so a
+    killed sweep loses at most one in-flight chunk.  Returns a
+    :class:`SweepRunSummary` whose ``records`` are the newly executed tasks.
+    """
+    started = time.perf_counter()
+    tasks = spec.expand()
+    done: set[str] = set()
+    if store is not None:
+        store.write_spec(spec)
+        if resume:
+            done = store.completed_ids(spec)
+    todo = [task.to_dict() for task in tasks if task.task_id not in done]
+    summary = SweepRunSummary(
+        spec_key=spec.key(), total_tasks=len(tasks), skipped=len(tasks) - len(todo)
+    )
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def collect(records: list[dict]) -> None:
+        if store is not None:
+            store.append(spec, records)
+        summary.records.extend(records)
+        summary.executed += len(records)
+        for record in records:
+            status = record.get("status")
+            if status == "ok":
+                summary.ok += 1
+            elif status == "timeout":
+                summary.timeouts += 1
+            else:
+                summary.failed += 1
+        note(
+            f"[{summary.skipped + summary.executed}/{summary.total_tasks}] "
+            f"{summary.ok} ok, {summary.failed} failed, {summary.timeouts} timeout"
+        )
+
+    if not todo:
+        summary.wall_time = time.perf_counter() - started
+        return summary
+
+    if workers <= 1:
+        if chunk_size is None:
+            chunk_size = max(1, len(todo) // 8)
+        for offset in range(0, len(todo), chunk_size):
+            collect(_run_chunk(todo[offset : offset + chunk_size], task_timeout))
+        summary.wall_time = time.perf_counter() - started
+        return summary
+
+    if chunk_size is None:
+        # Aim for a few chunks per worker so stragglers rebalance, while
+        # keeping chunks big enough that the instance cache pays off.
+        chunk_size = max(1, min(16, -(-len(todo) // (workers * 4))))
+    chunks = [todo[offset : offset + chunk_size] for offset in range(0, len(todo), chunk_size)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_run_chunk, chunk, task_timeout): chunk for chunk in chunks
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                chunk = pending.pop(future)
+                try:
+                    collect(future.result())
+                except Exception as exc:  # worker process died (e.g. OOM-kill)
+                    collect(
+                        [
+                            {
+                                "task_id": task["task_id"],
+                                "point_index": task["point_index"],
+                                "scenario": task["scenario"],
+                                "params": task["params"],
+                                "run_index": task["run_index"],
+                                "seed": task["seed"],
+                                "status": "failed",
+                                "error": f"worker crashed: {type(exc).__name__}: {exc}",
+                                "wall_time": 0.0,
+                            }
+                            for task in chunk
+                        ]
+                    )
+    summary.wall_time = time.perf_counter() - started
+    return summary

@@ -1,0 +1,164 @@
+"""Aggregation of stored sweep records into the analysis report types.
+
+The store keeps one JSONL record per run; this module folds them back into
+the repo's aggregate types: a :class:`~repro.core.batch.BatchResult` per grid
+point (the same object ``run_many`` produces, so step percentiles and the
+consensus semantics are shared, not re-implemented) and one
+:class:`~repro.analysis.harness.AgreementReport` per scenario comparing the
+batch consensus against the scenario's declared ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import AgreementReport
+from repro.core.batch import BatchResult
+from repro.core.results import Verdict
+from repro.experiments.spec import ExperimentSpec, GridPoint
+
+
+@dataclass
+class PointSummary:
+    """The aggregate outcome of one grid point."""
+
+    point: GridPoint
+    batch: BatchResult
+    expected: bool | None
+    failures: int
+    timeouts: int
+
+    @property
+    def scenario(self) -> str:
+        return self.point.scenario
+
+    @property
+    def params(self) -> dict:
+        return self.point.params
+
+    @property
+    def consensus(self) -> Verdict:
+        if not self.batch.verdicts:
+            return Verdict.UNDECIDED
+        return self.batch.consensus
+
+    @property
+    def matches_expected(self) -> bool | None:
+        """Whether the consensus agrees with the ground truth (None: no truth)."""
+        if self.expected is None:
+            return None
+        return self.consensus.as_bool() == self.expected
+
+    def params_text(self) -> str:
+        return " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+
+
+def summarise(spec: ExperimentSpec, records: list[dict]) -> list[PointSummary]:
+    """Fold per-run records into one :class:`PointSummary` per grid point.
+
+    Records are matched to the spec's expansion by ``task_id``; duplicate
+    records for a task (a resumed sweep re-running a previously failed task)
+    keep the latest, and only successful records contribute verdicts.
+    """
+    by_task: dict[str, dict] = {}
+    for record in records:
+        by_task[record["task_id"]] = record
+    summaries: list[PointSummary] = []
+    for point in spec.points():
+        verdicts: list[Verdict] = []
+        steps: list[int] = []
+        expected: bool | None = None
+        failures = 0
+        timeouts = 0
+        for run_index in range(point.runs):
+            record = by_task.get(f"{point.scenario}:{point.index}:{run_index}")
+            if record is None:
+                continue
+            status = record.get("status")
+            if status == "ok":
+                verdicts.append(Verdict(record["verdict"]))
+                steps.append(int(record["steps"]))
+                if record.get("expected") is not None:
+                    expected = record["expected"]
+            elif status == "timeout":
+                timeouts += 1
+            else:
+                failures += 1
+        batch = BatchResult(
+            verdicts=verdicts,
+            steps=steps,
+            planned_runs=point.runs,
+            base_seed=point.seed,
+        )
+        summaries.append(
+            PointSummary(
+                point=point,
+                batch=batch,
+                expected=expected,
+                failures=failures,
+                timeouts=timeouts,
+            )
+        )
+    return summaries
+
+
+def agreement_reports(summaries: list[PointSummary]) -> list[AgreementReport]:
+    """One :class:`AgreementReport` per scenario, against declared ground truth.
+
+    Grid points without a ground truth (``expected is None``) are not
+    counted; a consensus of ``INCONSISTENT`` increments the report's
+    inconsistency counter exactly as the exact-decision harness does.
+    """
+    reports: dict[str, AgreementReport] = {}
+    for summary in summaries:
+        if summary.expected is None:
+            continue
+        report = reports.get(summary.scenario)
+        if report is None:
+            report = AgreementReport(
+                automaton_name=summary.scenario, property_name="declared ground truth"
+            )
+            reports[summary.scenario] = report
+        report.checked += 1
+        consensus = summary.consensus
+        if consensus is Verdict.INCONSISTENT:
+            report.inconsistent += 1
+            report.disagreements.append(
+                (summary.params, summary.scenario, consensus, summary.expected)
+            )
+        elif consensus.as_bool() == summary.expected:
+            report.agreements += 1
+        else:
+            report.disagreements.append(
+                (summary.params, summary.scenario, consensus, summary.expected)
+            )
+    return [reports[name] for name in sorted(reports)]
+
+
+def sweep_table(summaries: list[PointSummary]) -> str:
+    """Plain-text table of the sweep, one row per grid point."""
+    header = (
+        f"{'scenario':<22} {'params':<34} {'consensus':<12} "
+        f"{'runs':>5} {'p50':>8} {'p90':>8} {'expected':>9} {'match':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for summary in summaries:
+        batch = summary.batch
+        if batch.steps:
+            p50 = f"{batch.step_percentile(50):.0f}"
+            p90 = f"{batch.step_percentile(90):.0f}"
+        else:
+            p50 = p90 = "-"
+        runs = f"{batch.runs_executed}/{summary.point.runs}"
+        expected = "-" if summary.expected is None else str(summary.expected).lower()
+        match = summary.matches_expected
+        match_text = "-" if match is None else ("yes" if match else "NO")
+        extra = ""
+        if summary.failures or summary.timeouts:
+            extra = f"  [{summary.failures} failed, {summary.timeouts} timeout]"
+        lines.append(
+            f"{summary.scenario:<22} {summary.params_text():<34} "
+            f"{summary.consensus.value:<12} {runs:>5} {p50:>8} {p90:>8} "
+            f"{expected:>9} {match_text:>6}{extra}"
+        )
+    return "\n".join(lines)

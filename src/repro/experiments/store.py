@@ -1,0 +1,95 @@
+"""JSONL result store with content-hashed spec keys and resume support.
+
+Each spec maps to one append-only JSONL file named
+``<spec name>-<spec key>.jsonl`` (the key is the SHA-256 content hash of the
+canonical spec, :meth:`~repro.experiments.spec.ExperimentSpec.key`), plus a
+``.spec.json`` sidecar holding the spec itself so a store directory is
+self-describing.  One line per executed task:
+
+.. code-block:: json
+
+    {"task_id": "exists-label:0:1", "point_index": 0, "scenario": "...",
+     "params": {...}, "run_index": 1, "seed": 123, "status": "ok",
+     "verdict": "accept", "steps": 431, "expected": true, "wall_time": 0.01}
+
+``status`` is ``"ok"``, ``"failed"`` or ``"timeout"``; only ``"ok"`` records
+count as completed, so failures and timeouts are retried on resume.  Loading
+tolerates a truncated final line (the signature of a sweep killed mid-write):
+everything before it is kept, so an interrupted sweep resumes from the last
+durable record instead of recomputing the whole grid.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.experiments.spec import ExperimentSpec
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(name: str) -> str:
+    return _SAFE_NAME.sub("-", name).strip("-") or "spec"
+
+
+class ResultStore:
+    """A directory of per-spec JSONL result files."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def results_path(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{_slug(spec.name)}-{spec.key()}.jsonl"
+
+    def spec_path(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{_slug(spec.name)}-{spec.key()}.spec.json"
+
+    def write_spec(self, spec: ExperimentSpec) -> Path:
+        """Persist the spec sidecar (idempotent — the content hash matches)."""
+        path = self.spec_path(spec)
+        if not path.exists():
+            spec.save(path)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def append(self, spec: ExperimentSpec, records: Iterable[dict]) -> int:
+        """Append records for ``spec``; returns the number written."""
+        written = 0
+        with self.results_path(spec).open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                written += 1
+            handle.flush()
+        return written
+
+    def load(self, spec: ExperimentSpec) -> list[dict]:
+        """All durable records for ``spec`` (tolerates a truncated tail)."""
+        path = self.results_path(spec)
+        if not path.exists():
+            return []
+        records: list[dict] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A partial final line from an interrupted writer; every
+                    # complete record before it is still valid.
+                    break
+        return records
+
+    def completed_ids(self, spec: ExperimentSpec) -> set[str]:
+        """Task ids that have a durable successful record."""
+        return {
+            record["task_id"]
+            for record in self.load(spec)
+            if record.get("status") == "ok"
+        }

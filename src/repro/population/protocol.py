@@ -24,6 +24,7 @@ from repro.core.configuration import consensus_of_counts
 from repro.core.labels import Alphabet, Label, LabelCount
 from repro.core.scheduler import geometric_silent_steps, weighted_index
 from repro.core.simulation import Verdict
+from repro.core.streaks import ConsensusStreakDriver
 
 State = object
 PopulationConfiguration = tuple[tuple[State, int], ...]
@@ -235,10 +236,10 @@ class PopulationProtocol:
                 return None
             return Verdict.ACCEPT if decided else Verdict.REJECT
 
-        step = 0
-        streak = 0  # consecutive steps the current consensus has persisted
-        value = consensus()
-        while step < max_steps:
+        # The streak/fixed-point accounting is the shared driver; only the
+        # pair-interaction dynamics live here.
+        driver = ConsensusStreakDriver(window, max_steps, consensus())
+        while driver.step < max_steps:
             # Enumerate the active ordered state pairs under the current counts.
             movers: list[tuple[State, State, int, tuple[State, State]]] = []
             active = 0
@@ -258,20 +259,14 @@ class PopulationProtocol:
                         active += weight
             if active == 0:
                 # Fixed point: the verdict is decided now or never.
-                if value is not None:
-                    return value, min(step + max(0, window - streak), max_steps)
+                if driver.value is not None:
+                    driver.finish_at_fixed_point(driver.value)
+                    return driver.value, driver.step
                 return Verdict.UNDECIDED, max_steps
             silent = geometric_silent_steps(rng, active / total_pairs)
-            if value is not None and streak + silent >= window:
-                return value, min(step + (window - streak), max_steps)
-            taken = min(silent, max_steps - step)
-            step += taken
-            if value is not None:
-                streak += taken
-            if step >= max_steps:
+            if silent and driver.advance_silent(silent, driver.value):
                 break
             # The active interaction: weighted draw over the ordered pairs.
-            step += 1
             p, q, _, outcome = movers[
                 weighted_index(rng, [w for _, _, w, _ in movers], active)
             ]
@@ -284,12 +279,10 @@ class PopulationProtocol:
                 del counts[q]
             counts[p2] = counts.get(p2, 0) + 1
             counts[q2] = counts.get(q2, 0) + 1
-            new_value = consensus()
-            streak = streak + 1 if (new_value is not None and new_value == value) else 0
-            value = new_value
-            if value is not None and streak >= window:
-                return value, step
-        return (value if value is not None else Verdict.UNDECIDED), max_steps
+            if driver.record_active(consensus()):
+                return driver.value, driver.step
+        value = driver.value
+        return (value if value is not None else Verdict.UNDECIDED), driver.step
 
     def run_many(
         self,

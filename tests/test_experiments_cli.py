@@ -1,0 +1,88 @@
+"""CLI smoke tests for ``python -m repro`` (in-process via cli.main)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.spec import ExperimentSpec
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "cli-test",
+            "sweeps": [
+                {"scenario": "exists-label", "grid": {"a": [0, 1], "b": [4]}},
+                {"scenario": "population-threshold", "grid": {"a": [3], "b": [4], "k": [3]}},
+            ],
+            "runs": 2,
+            "base_seed": 5,
+            "max_steps": 20_000,
+            "stability_window": 100,
+        }
+    )
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    return path
+
+
+class TestListScenarios:
+    def test_plain_listing(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exists-label", "absence-probe", "rendezvous-parity"):
+            assert name in out
+
+    def test_json_listing(self, capsys):
+        assert main(["list-scenarios", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in data}
+        kinds = {entry["kind"] for entry in data}
+        assert {"exists-label", "threshold-broadcast", "population-majority"} <= names
+        assert {"detection-machine", "broadcast", "absence", "rendezvous", "population"} <= kinds
+        assert all("defaults" in entry for entry in data)
+
+
+class TestRunAndReport:
+    def test_run_then_resume_then_report(self, spec_path, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        assert main(["run", str(spec_path), "--store", store, "--workers", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "6 tasks" in out and "6 executed" in out
+
+        # Second run resumes: nothing executed.
+        assert main(["run", str(spec_path), "--store", store, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "6 already stored, 0 executed" in out
+
+        assert main(["report", str(spec_path), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "exists-label" in out
+        assert "declared ground truth" in out
+
+    def test_report_json(self, spec_path, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        main(["run", str(spec_path), "--store", store, "--quiet"])
+        capsys.readouterr()
+        assert main(["report", str(spec_path), "--store", store, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        assert all(row["matches_expected"] for row in rows)
+
+    def test_report_without_results(self, spec_path, tmp_path, capsys):
+        assert main(["report", str(spec_path), "--store", str(tmp_path / "empty")]) == 1
+        assert "no results" in capsys.readouterr().out
+
+    def test_missing_spec_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_invalid_spec_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "sweeps": [], "wat": 1}')
+        with pytest.raises(SystemExit, match="invalid spec"):
+            main(["run", str(path)])

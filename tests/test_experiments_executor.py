@@ -1,0 +1,200 @@
+"""Executor determinism (serial vs parallel), resume, and failure isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.results import Verdict
+from repro.experiments.executor import run_spec
+from repro.experiments.report import agreement_reports, summarise
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    data = {
+        "name": "executor-test",
+        "sweeps": [
+            {"scenario": "exists-label", "grid": {"a": [0, 1], "b": [4]}},
+            {"scenario": "population-parity", "grid": {"a": [2, 3], "b": [2]}},
+        ],
+        "runs": 2,
+        "base_seed": 21,
+        "max_steps": 20_000,
+        "stability_window": 100,
+    }
+    data.update(overrides)
+    return ExperimentSpec.from_dict(data)
+
+
+def stored_outcomes(records: list[dict]) -> list[tuple]:
+    """The determinism-relevant projection of stored records."""
+    return sorted(
+        (r["task_id"], r.get("status"), r.get("verdict"), r.get("steps"), r["seed"])
+        for r in records
+    )
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_store_identical_results(self, tmp_path):
+        spec = small_spec()
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_spec(spec, serial_store, workers=1)
+        parallel = run_spec(spec, parallel_store, workers=2)
+        assert serial.ok == parallel.ok == serial.total_tasks
+        assert stored_outcomes(serial_store.load(spec)) == stored_outcomes(
+            parallel_store.load(spec)
+        )
+
+    def test_rerun_with_same_seed_is_identical(self, tmp_path):
+        spec = small_spec()
+        first = run_spec(spec, ResultStore(tmp_path / "a"), workers=1)
+        second = run_spec(spec, ResultStore(tmp_path / "b"), workers=1)
+        assert stored_outcomes(first.records) == stored_outcomes(second.records)
+
+    def test_different_base_seed_changes_run_seeds(self, tmp_path):
+        first = run_spec(small_spec(), workers=1)
+        second = run_spec(small_spec(base_seed=22), workers=1)
+        assert {r["seed"] for r in first.records}.isdisjoint(
+            r["seed"] for r in second.records
+        )
+
+
+class TestResume:
+    def test_completed_tasks_are_not_rerun(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        first = run_spec(spec, store, workers=1)
+        assert first.executed == first.total_tasks == 8
+        second = run_spec(spec, store, workers=2)
+        assert second.executed == 0
+        assert second.skipped == second.total_tasks
+        assert second.complete
+
+    def test_partial_store_resumes_remaining_tasks(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        full = run_spec(spec, ResultStore(tmp_path / "reference"), workers=1)
+        # Seed the store with only half the records (an interrupted sweep).
+        reference = sorted(full.records, key=lambda r: r["task_id"])
+        store.write_spec(spec)
+        store.append(spec, reference[:4])
+        resumed = run_spec(spec, store, workers=2)
+        assert resumed.skipped == 4
+        assert resumed.executed == 4
+        # The resumed store converges to the same results as the full run.
+        assert stored_outcomes(store.load(spec)) == stored_outcomes(full.records)
+
+    def test_truncated_jsonl_tail_is_tolerated(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        run_spec(spec, store, workers=1)
+        path = store.results_path(spec)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"task_id": "exists-label:0:0", "status": "o')  # killed mid-write
+        records = store.load(spec)
+        assert len(records) == 8
+        assert store.completed_ids(spec) == {t.task_id for t in spec.expand()}
+
+    def test_failed_records_are_retried(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        task = spec.expand()[0]
+        store.append(
+            spec,
+            [
+                {
+                    "task_id": task.task_id,
+                    "point_index": task.point_index,
+                    "scenario": task.scenario,
+                    "params": task.params,
+                    "run_index": task.run_index,
+                    "seed": task.seed,
+                    "status": "failed",
+                    "error": "synthetic",
+                    "wall_time": 0.0,
+                }
+            ],
+        )
+        summary = run_spec(spec, store, workers=1)
+        assert summary.skipped == 0  # the failed record does not count
+        assert summary.ok == summary.total_tasks
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        run_spec(spec, store, workers=1)
+        again = run_spec(spec, store, workers=1, resume=False)
+        assert again.executed == again.total_tasks
+
+
+class TestFailureIsolation:
+    def test_invalid_point_fails_without_sinking_the_sweep(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "isolation",
+                "runs": 1,
+                "sweeps": [
+                    {
+                        "scenario": "exists-label",
+                        "grid": {"a": [1], "b": [4], "graph": ["cycle", "bogus-family"]},
+                    }
+                ],
+            }
+        )
+        summary = run_spec(spec, workers=2)
+        assert summary.ok == 1
+        assert summary.failed == 1
+        failed = [r for r in summary.records if r["status"] == "failed"]
+        assert "bogus-family" in failed[0]["error"]
+
+    def test_unknown_scenario_fails_cleanly(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "unknown",
+                "runs": 1,
+                "sweeps": [{"scenario": "no-such-scenario", "grid": {}}],
+            }
+        )
+        summary = run_spec(spec, workers=1)
+        assert summary.failed == 1
+        assert "registered scenarios" in summary.records[0]["error"]
+
+
+class TestAggregation:
+    def test_summaries_rebuild_batches_and_agreements(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        run_spec(spec, store, workers=2)
+        summaries = summarise(spec, store.load(spec))
+        assert len(summaries) == 4
+        by_params = {
+            (s.scenario, s.params["a"]): s.consensus for s in summaries
+        }
+        assert by_params[("exists-label", 0)] is Verdict.REJECT
+        assert by_params[("exists-label", 1)] is Verdict.ACCEPT
+        assert by_params[("population-parity", 2)] is Verdict.REJECT
+        assert by_params[("population-parity", 3)] is Verdict.ACCEPT
+        for summary in summaries:
+            assert summary.batch.runs_executed == 2
+            assert summary.matches_expected is True
+        reports = agreement_reports(summaries)
+        assert [r.automaton_name for r in reports] == [
+            "exists-label",
+            "population-parity",
+        ]
+        assert all(r.all_agree for r in reports)
+
+    def test_store_is_self_describing(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path)
+        run_spec(spec, store, workers=1)
+        sidecar = store.spec_path(spec)
+        assert sidecar.exists()
+        assert ExperimentSpec.from_json(sidecar.read_text()) == spec
+        line = store.results_path(spec).read_text().splitlines()[0]
+        record = json.loads(line)
+        assert {"task_id", "scenario", "params", "seed", "status"} <= set(record)

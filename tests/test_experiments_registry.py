@@ -1,0 +1,65 @@
+"""Registry completeness: every scenario constructs and runs under its defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import Verdict
+from repro.experiments.scenarios import (
+    KINDS,
+    SCENARIOS,
+    build_instance,
+    get_scenario,
+    list_scenarios,
+)
+
+
+class TestRegistryShape:
+    def test_every_required_kind_is_covered(self):
+        kinds = {scenario.kind for scenario in list_scenarios()}
+        assert kinds == set(KINDS)
+
+    def test_listing_is_sorted_and_complete(self):
+        names = [scenario.name for scenario in list_scenarios()]
+        assert names == sorted(SCENARIOS)
+        assert len(names) >= 6
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError, match="registered scenarios"):
+            get_scenario("no-such-scenario")
+
+    def test_unknown_parameters_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            build_instance("exists-label", {"a": 1, "b": 4, "typo": 3})
+
+
+class TestRegistryCompleteness:
+    """Every registered scenario must construct and complete one short run."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_builds_and_runs(self, name):
+        instance = build_instance(name)
+        outcome = instance.run_once(seed=5, max_steps=2_000, stability_window=50)
+        assert isinstance(outcome.verdict, Verdict)
+        assert 0 <= outcome.steps <= 2_000
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_run_batch_returns_batch_result(self, name):
+        from repro.core.batch import BatchResult
+
+        instance = build_instance(name)
+        batch = instance.run_batch(
+            runs=2, base_seed=1, max_steps=2_000, stability_window=50
+        )
+        assert isinstance(batch, BatchResult)
+        assert batch.runs_executed == 2
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_defaults_reach_declared_ground_truth(self, name):
+        """Under the defaults (with a real step budget), the declared ground
+        truth must be reproduced — the end-to-end sanity of the registry."""
+        instance = build_instance(name)
+        if instance.expected is None:
+            pytest.skip("scenario declares no ground truth for its defaults")
+        outcome = instance.run_once(seed=9, max_steps=60_000, stability_window=300)
+        assert outcome.verdict.as_bool() == instance.expected
