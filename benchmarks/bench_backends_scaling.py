@@ -11,7 +11,13 @@ The acceptance series for the backend architecture:
   finish, asserting the two backends reach the same verdict;
 * the batched Monte-Carlo runner with quorum early-stopping on a population
   two orders of magnitude beyond the seed's experiments;
-* the count-vector population-protocol engine at 10⁴ agents.
+* the count-vector population-protocol engine at 10⁴ agents;
+* the **pernode section** (``@pytest.mark.slow``): the compiled per-node
+  engine (:mod:`repro.core.compile`) against the reference loop on a
+  2,000-node *cycle* — a family the count backend cannot take — asserting a
+  ≥ 10× speedup over the *identical* trajectory, plus per-step cost
+  measurements at two sizes showing the compiled engine's cost is O(deg)
+  while the reference's grows with n.
 
 The measurement code is shared with ``python -m repro bench``
 (:mod:`repro.experiments.backends_bench`), and every stat collected here is
@@ -33,7 +39,12 @@ import pytest
 from repro.core import SimulationEngine, Verdict, implicit_clique_graph
 from repro.core.labels import LabelCount
 from repro.constructions import exists_label_machine
-from repro.experiments.backends_bench import compare_backends, end_to_end_comparison
+from repro.experiments.backends_bench import (
+    compare_backends,
+    compare_pernode_backends,
+    end_to_end_comparison,
+    pernode_step_cost_scaling,
+)
 from repro.experiments.benchjson import write_bench_json
 from repro.population import threshold_protocol
 
@@ -114,6 +125,51 @@ def test_batched_runner_with_quorum(benchmark, ab):
     assert batch.consensus is Verdict.ACCEPT
     assert batch.stopped_early
     print(f"\n[backends] batch on n=5,000 clique: {batch.summary()}")
+
+
+@pytest.mark.slow
+def test_compiled_pernode_cycle_speedup(benchmark, ab):
+    """Acceptance criterion: ≥ 10× compiled-vs-reference on a 2,000-node cycle.
+
+    Both engines run the *same* 20,000-step trajectory (they consume the
+    same schedule stream), so the wall-time ratio is a clean per-step
+    speedup and the equal outcomes double as a differential check.
+    """
+    stats = benchmark.pedantic(
+        compare_pernode_backends, args=(ab, 2_000, 1_100, 20_000), rounds=1, iterations=1
+    )
+    _BENCH_ENTRIES.append({"name": "pernode-cycle-compiled-vs-reference", **stats})
+    assert stats["identical_runs"], "compiled and reference runs diverged"
+    assert stats["speedup"] >= 10, f"only {stats['speedup']:.1f}x"
+    print(
+        f"\n[backends] n=2,000 cycle majority, 20,000 identical steps: reference "
+        f"{stats['timings']['per-node']:.3f}s, compiled "
+        f"{stats['timings']['compiled']:.3f}s → ≈{stats['speedup']:.0f}× faster "
+        f"({stats['reference_us_per_step']:.1f} vs "
+        f"{stats['compiled_us_per_step']:.1f} µs/step)"
+    )
+
+
+@pytest.mark.slow
+def test_compiled_pernode_step_cost_is_degree_bound(benchmark, ab):
+    """Per-step cost on a cycle: reference grows ~linearly in n, compiled stays flat."""
+    stats = benchmark.pedantic(
+        pernode_step_cost_scaling,
+        args=(ab, 2_000, 8_000, 20_000, 4_000),
+        rounds=1,
+        iterations=1,
+    )
+    _BENCH_ENTRIES.append({"name": "pernode-cycle-step-cost-scaling", **stats})
+    # 4× the nodes: the reference per-step cost must grow strictly faster
+    # than the compiled engine's (O(n) vs O(deg) with deg constant).
+    assert stats["compiled_cost_ratio"] < stats["reference_cost_ratio"], stats
+    print(
+        f"\n[backends] cycle per-step cost n=2,000→8,000: reference "
+        f"{stats['reference_us_per_step'][0]:.1f}→{stats['reference_us_per_step'][1]:.1f} µs "
+        f"(×{stats['reference_cost_ratio']:.1f}), compiled "
+        f"{stats['compiled_us_per_step'][0]:.1f}→{stats['compiled_us_per_step'][1]:.1f} µs "
+        f"(×{stats['compiled_cost_ratio']:.1f})"
+    )
 
 
 def test_population_count_engine_10k_agents(benchmark, ab):

@@ -1,0 +1,80 @@
+"""Guard against silent performance regressions in ``BENCH_backends.json``.
+
+Usage::
+
+    python benchmarks/guard.py BASELINE.json FRESH.json [--ratio 0.5]
+
+Compares every entry of the committed *baseline* artifact that records a
+numeric ``speedup`` against the entry of the same ``name`` in the freshly
+generated artifact, and exits non-zero if any fresh speedup falls below
+``ratio`` × its committed value (default: half).  Speedups are wall-time
+*ratios* between two engines measured on the same machine, so the check is
+robust to absolute machine speed — only a genuine relative regression (or a
+vanished benchmark entry) trips it.
+
+The two artifacts must be produced at the same scale: CI compares the
+``--quick`` bench output against the committed quick baseline
+(``benchmarks/BENCH_backends_quick_baseline.json``).  Stdlib only — no
+dependencies beyond ``json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_speedups(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    out: dict[str, float] = {}
+    for entry in data.get("entries", []):
+        speedup = entry.get("speedup")
+        if isinstance(speedup, (int, float)):
+            out[entry["name"]] = float(speedup)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_backends.json")
+    parser.add_argument("fresh", type=Path, help="freshly generated BENCH_backends.json")
+    parser.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="minimum fresh/committed speedup ratio (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_speedups(args.baseline)
+    fresh = load_speedups(args.fresh)
+    if not baseline:
+        print(f"error: no speedup entries in baseline {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    width = max(len(name) for name in baseline)
+    for name, committed in sorted(baseline.items()):
+        measured = fresh.get(name)
+        if measured is None:
+            print(f"{name:<{width}}  committed {committed:9.1f}x  MISSING from fresh run")
+            failures += 1
+            continue
+        floor = args.ratio * committed
+        verdict = "ok" if measured >= floor else f"REGRESSION (floor {floor:.1f}x)"
+        print(
+            f"{name:<{width}}  committed {committed:9.1f}x  fresh {measured:9.1f}x  {verdict}"
+        )
+        if measured < floor:
+            failures += 1
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed below {args.ratio:.0%} of committed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} guarded speedups within {args.ratio:.0%} of committed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,9 +7,26 @@ with the package:
 :class:`PerNodeBackend`
     The reference implementation: configurations are tuples ``C : V → Q`` and
     every step recomputes the selected nodes' neighbourhood views from the
-    adjacency structure.  Works for every machine, graph and schedule; cost
-    is ``O(deg(v))`` per selected node per step, which on an ``n``-clique is
-    ``O(n)`` per step.
+    adjacency structure, rebuilds the configuration tuple and rescans it for
+    a consensus.  Works for every machine, graph and schedule, but each step
+    costs ``O(n)`` regardless of how little changed.  Kept verbatim as the
+    differential oracle the optimised engines are checked against.
+
+:class:`CompiledPerNodeBackend`
+    The optimised per-node engine: the machine is compiled to interned
+    integer states with memoised transition tables
+    (:class:`~repro.core.compile.CompiledMachine`), the configuration is a
+    mutable int array, every node caches its neighbour-multiset count vector
+    (updated incrementally when a neighbour flips) and consensus is tracked
+    through per-verdict counters — one exclusive step costs ``O(deg(v))``
+    instead of ``O(n)``.  It consumes ``schedule.selections(graph)`` exactly
+    like the reference, so for the same seed it reproduces the reference run
+    bit for bit (verdict, steps, ``stabilised_at``, final configuration) on
+    every graph family and schedule it accepts; per-step trace recording and
+    implicit cliques (on-demand adjacency, see
+    :meth:`CompiledPerNodeBackend.supports`) are the only exclusions.
+    Compiled machines are plain data and pickle cleanly, which the sweep
+    executor uses to ship pre-built instances to worker processes.
 
 :class:`CountBasedBackend`
     A vectorized engine for *cliques*, exploiting the symmetry that classical
@@ -39,13 +56,15 @@ A third evaluation strategy — *exact* decision via the configuration graph
 (:func:`repro.core.verification.decide`) — is not a backend: it quantifies
 over all fair schedules instead of sampling one, and is exponential in the
 number of nodes.  The scaling ladder is therefore: exact (≤ ~7 nodes),
-per-node (~10³ nodes), count-based (10⁴–10⁶ agents on cliques).
+per-node reference (~10³ nodes), compiled per-node (~10⁴–10⁵ nodes on any
+graph), count-based (10⁴–10⁶ agents on cliques).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.compile import compile_machine, run_compiled
 from repro.core.configuration import (
     Configuration,
     configuration_from_counts,
@@ -55,7 +74,7 @@ from repro.core.configuration import (
     state_counts,
     successor,
 )
-from repro.core.graphs import LabeledGraph
+from repro.core.graphs import ImplicitCliqueGraph, LabeledGraph
 from repro.core.machine import DistributedMachine, Neighborhood, State
 from repro.core.results import RunResult, Verdict
 from repro.core.scheduler import (
@@ -174,6 +193,72 @@ class PerNodeBackend(SimulationBackend):
                 break
         final_value = consensus_value(machine, configuration)
         return _result(final_value, step, configuration, stabilised_at, trace)
+
+
+# ---------------------------------------------------------------------- #
+# Compiled per-node backend (any graph, any schedule, no traces)
+# ---------------------------------------------------------------------- #
+@dataclass
+class CompiledPerNodeBackend(PerNodeBackend):
+    """Per-node simulation over compiled transition kernels; O(deg) per step.
+
+    Subclasses :class:`PerNodeBackend` because it implements the same
+    semantics on the same instances — for a given seed the two produce
+    identical :class:`~repro.core.results.RunResult`\\ s — just with the hot
+    loop rewritten around :class:`~repro.core.compile.CompiledMachine` and
+    incremental neighbourhood/consensus bookkeeping (see
+    :mod:`repro.core.compile`).  Trace recording is the one capability it
+    gives up: materialising a full configuration per step would reintroduce
+    the O(n) cost the engine exists to avoid, so ``"auto"`` falls back to the
+    reference loop when a trace is requested.
+    """
+
+    name = "compiled"
+
+    def supports(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        record_trace: bool = False,
+    ) -> bool:
+        # Unlike the count backend there is no schedule eligibility rule:
+        # the engine consumes schedule.selections() verbatim, so subclassed
+        # schedules keep their custom dynamics.  Implicit cliques are the
+        # one graph exclusion: their adjacency is generated on demand, and
+        # this engine's per-node neighbour vectors would materialise all
+        # n(n-1)/2 edges — at the 10⁴–10⁶ scales those graphs exist for
+        # that is an O(n²) blow-up, so such instances stay on the count
+        # backend (supported schedules) or the streaming reference loop.
+        return not record_trace and not isinstance(graph, ImplicitCliqueGraph)
+
+    def run(
+        self,
+        machine: DistributedMachine,
+        graph: LabeledGraph,
+        schedule: ScheduleGenerator,
+        *,
+        max_steps: int,
+        stability_window: int,
+        record_trace: bool = False,
+        start: Configuration | None = None,
+    ) -> RunResult:
+        if not self.supports(machine, graph, schedule, record_trace):
+            raise BackendUnsupported(
+                f"the compiled per-node backend records no traces and needs "
+                f"materialised adjacency (graph={graph.name!r}, "
+                f"record_trace={record_trace}); use the 'per-node' reference "
+                f"backend"
+            )
+        compiled = compile_machine(machine)
+        return run_compiled(
+            compiled,
+            graph,
+            schedule,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            start=start,
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -369,10 +454,12 @@ def _result(
 
 
 PER_NODE_BACKEND = PerNodeBackend()
+COMPILED_BACKEND = CompiledPerNodeBackend()
 COUNT_BACKEND = CountBasedBackend()
 
 _BACKENDS_BY_NAME: dict[str, SimulationBackend] = {
     PER_NODE_BACKEND.name: PER_NODE_BACKEND,
+    COMPILED_BACKEND.name: COMPILED_BACKEND,
     COUNT_BACKEND.name: COUNT_BACKEND,
 }
 
@@ -386,16 +473,20 @@ def resolve_backend(
 ) -> SimulationBackend:
     """Resolve a backend spec (``"auto"``, a name, or an instance) for an instance.
 
-    ``"auto"`` picks the count-based backend whenever it supports the
-    instance and the per-node reference otherwise.  Naming a backend that
-    cannot handle the instance raises :class:`BackendUnsupported` rather than
-    silently falling back.
+    ``"auto"`` walks the preference ladder: the count-based backend whenever
+    it supports the instance (cliques under the exact random-exclusive /
+    synchronous schedule types), else the compiled per-node engine (any
+    graph and schedule without trace recording), else the per-node
+    reference.  Naming a backend that cannot handle the instance raises
+    :class:`BackendUnsupported` rather than silently falling back.
     """
     if isinstance(spec, SimulationBackend):
         backend = spec
     elif spec == "auto":
         if COUNT_BACKEND.supports(machine, graph, schedule, record_trace):
             return COUNT_BACKEND
+        if COMPILED_BACKEND.supports(machine, graph, schedule, record_trace):
+            return COMPILED_BACKEND
         return PER_NODE_BACKEND
     else:
         try:

@@ -1,0 +1,361 @@
+"""Compiled transition kernels: interned states and memoised δ lookup tables.
+
+:class:`~repro.core.machine.DistributedMachine` keeps its transition function
+``δ : Q × [β]^Q → Q`` as an arbitrary callable — usually a lambda closing over
+construction state.  That representation is maximally flexible but pays twice
+in the simulation hot loop: every step re-executes python closure code, and
+the machine as a whole cannot cross a process boundary (lambdas do not
+pickle), so the sweep executor has to rebuild instances inside every worker.
+
+:class:`CompiledMachine` fixes both costs without giving up laziness:
+
+* **Interning** — states are mapped to dense integer ids on first sight, and
+  the accepting/rejecting predicates are evaluated once per state and cached
+  as flag arrays.  Engines built on top manipulate plain ints.
+* **Memoisation** — δ is materialised on demand into lookup tables keyed by
+  ``(state id, view key)``, where a view key is the node degree plus the
+  β-capped neighbour counts as a sorted tuple of ``(state id, count)`` pairs.
+  The capped view is exactly what the model lets a transition observe
+  (Section 2.1), so the table is a faithful, loss-free image of δ.
+* **Pickling** — everything except the live δ reference is plain data.  A
+  pickled :class:`CompiledMachine` carries its interned states, init table,
+  flag arrays and the transition entries learned so far; on the other side of
+  the boundary it keeps answering every memoised view, and re-binds δ through
+  an optional picklable ``loader`` callable the first time it meets a view it
+  has not seen (raising :class:`CompiledMachineUnbound` if it has no loader).
+
+:func:`run_compiled` is the incremental per-node engine built on top: the
+configuration is a mutable int array, every node caches its neighbour-multiset
+count vector (updated in O(deg) when a neighbour flips), and consensus is
+tracked through per-verdict node counters — so one exclusive step costs
+O(deg(v)) instead of the reference loop's O(n) full-configuration rebuild and
+rescan.  The engine consumes ``schedule.selections(graph)`` exactly like the
+reference :class:`~repro.core.backends.PerNodeBackend`, so for the same seed
+it draws the same random stream and reproduces the reference run bit for bit:
+same verdict, same step count, same ``stabilised_at``, same final
+configuration.  The differential suite asserts this across graph families.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.core.results import RunResult, Verdict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.configuration import Configuration
+    from repro.core.graphs import LabeledGraph
+    from repro.core.scheduler import ScheduleGenerator
+
+#: A memo key for one neighbourhood view: ``(degree, ((state_id, capped), …))``
+#: with the items sorted by state id.  The degree is part of the key because a
+#: node legitimately knows ``|N|`` and transition functions may consult it.
+ViewKey = tuple
+
+
+class CompiledMachineUnbound(RuntimeError):
+    """A compiled machine met an unmemoised view with no δ and no loader."""
+
+
+class CompiledMachine:
+    """The integer-interned, table-memoised form of a distributed machine.
+
+    Build one through :func:`compile_machine` (which caches the compilation on
+    the source machine so repeated runs share one table).  The instance is
+    *bound* while it holds a live reference to the source machine; unpickling
+    produces an unbound copy that serves every memoised view from its tables
+    and calls ``loader`` (any picklable zero-argument callable returning the
+    source :class:`~repro.core.machine.DistributedMachine`) to re-bind on the
+    first miss.
+    """
+
+    def __init__(
+        self,
+        machine: DistributedMachine,
+        loader: Callable[[], DistributedMachine] | None = None,
+    ):
+        self.name = machine.name
+        self.beta = machine.beta
+        self.loader = loader
+        self._states: list[State] = []  # id -> state
+        self._ids: dict[State, int] = {}  # state -> id
+        self._accepting: list[bool] = []  # id -> machine.is_accepting(state)
+        self._rejecting: list[bool] = []
+        self._init_ids: dict = {}  # label -> id, eagerly filled (finite alphabet)
+        self._table: dict[int, dict[ViewKey, int]] = {}  # state id -> view -> id
+        self._machine: DistributedMachine | None = machine
+        for label in machine.alphabet.labels:
+            self._init_ids[label] = self.intern(machine.initial_state(label))
+
+    # ------------------------------------------------------------------ #
+    # Pickling: drop the live machine, keep every learned table entry.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_machine"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @property
+    def bound(self) -> bool:
+        """Whether a live δ is attached (misses can be resolved directly)."""
+        return self._machine is not None
+
+    def bind(self, machine: DistributedMachine) -> None:
+        """Re-attach a live source machine (after unpickling).
+
+        The machine must agree with the compiled data; the check is
+        necessarily partial (β and the init table), but catches binding a
+        different construction outright.  Validation is read-only — the init
+        states were interned eagerly at compile time, so a failed bind
+        leaves the tables untouched and a later bind of the right machine
+        starts clean.
+        """
+        if machine.beta != self.beta:
+            raise ValueError(
+                f"cannot bind {machine.name!r} (beta={machine.beta}) to compiled "
+                f"{self.name!r} (beta={self.beta})"
+            )
+        for label, expected in self._init_ids.items():
+            if self._ids.get(machine.initial_state(label)) != expected:
+                raise ValueError(
+                    f"cannot bind {machine.name!r}: init({label!r}) disagrees "
+                    f"with the compiled init table of {self.name!r}"
+                )
+        self._machine = machine
+
+    def _require_source(self) -> DistributedMachine:
+        if self._machine is None:
+            if self.loader is None:
+                raise CompiledMachineUnbound(
+                    f"compiled machine {self.name!r} is unbound (unpickled?) and "
+                    f"has no loader; bind() a source machine to resolve new views"
+                )
+            self.bind(self.loader())
+        return self._machine
+
+    # ------------------------------------------------------------------ #
+    # Interning
+    # ------------------------------------------------------------------ #
+    def intern(self, state: State) -> int:
+        """The dense id of ``state``, classifying it on first sight."""
+        sid = self._ids.get(state)
+        if sid is None:
+            machine = self._require_source()
+            sid = len(self._states)
+            self._states.append(state)
+            self._ids[state] = sid
+            self._accepting.append(machine.is_accepting(state))
+            self._rejecting.append(machine.is_rejecting(state))
+        return sid
+
+    def state_of(self, sid: int) -> State:
+        return self._states[sid]
+
+    def init_id(self, label) -> int:
+        try:
+            return self._init_ids[label]
+        except KeyError:
+            raise ValueError(
+                f"label {label!r} not in the alphabet of compiled {self.name!r}"
+            ) from None
+
+    def is_accepting_id(self, sid: int) -> bool:
+        return self._accepting[sid]
+
+    def is_rejecting_id(self, sid: int) -> bool:
+        return self._rejecting[sid]
+
+    # ------------------------------------------------------------------ #
+    # Transition evaluation
+    # ------------------------------------------------------------------ #
+    def step_id(self, sid: int, view_key: ViewKey) -> int:
+        """δ on interned ids, memoised; misses decode the view and call δ."""
+        row = self._table.get(sid)
+        if row is None:
+            row = self._table[sid] = {}
+        nxt = row.get(view_key)
+        if nxt is None:
+            machine = self._require_source()
+            degree, items = view_key
+            counts = {self._states[q]: c for q, c in items}
+            view = Neighborhood(counts, self.beta, total=degree)
+            nxt = self.intern(machine.step(self._states[sid], view))
+            row[view_key] = nxt
+        return nxt
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests, diagnostics)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def table_size(self) -> int:
+        """Number of memoised ``(state, view) -> state`` entries."""
+        return sum(len(row) for row in self._table.values())
+
+    def __repr__(self) -> str:
+        kind = "bound" if self.bound else "unbound"
+        return (
+            f"CompiledMachine(name={self.name!r}, beta={self.beta}, "
+            f"states={self.num_states}, table={self.table_size}, {kind})"
+        )
+
+
+_CACHE_ATTR = "_compiled_machine_cache"
+
+
+def compile_machine(
+    machine: DistributedMachine,
+    loader: Callable[[], DistributedMachine] | None = None,
+) -> CompiledMachine:
+    """The compiled form of ``machine``, cached on the machine itself.
+
+    The cache makes every engine that compiles the same machine object —
+    repeated ``run_machine`` calls, all runs of a ``run_many`` batch — share
+    one growing transition table.  A ``loader`` passed on a later call is
+    attached to the cached compilation if it has none yet.
+    """
+    compiled = getattr(machine, _CACHE_ATTR, None)
+    if compiled is None:
+        compiled = CompiledMachine(machine, loader=loader)
+        machine.__dict__[_CACHE_ATTR] = compiled
+    elif loader is not None and compiled.loader is None:
+        compiled.loader = loader
+    return compiled
+
+
+# ---------------------------------------------------------------------- #
+# The incremental per-node engine
+# ---------------------------------------------------------------------- #
+def run_compiled(
+    compiled: CompiledMachine,
+    graph: "LabeledGraph",
+    schedule: "ScheduleGenerator",
+    *,
+    max_steps: int,
+    stability_window: int,
+    start: "Configuration | None" = None,
+) -> RunResult:
+    """Run a compiled machine on ``graph`` under ``schedule``; O(deg) per step.
+
+    Bit-identical to :class:`~repro.core.backends.PerNodeBackend` for the
+    same arguments (see the module docstring); the only observable it cannot
+    produce is a per-step trace.
+    """
+    n = graph.num_nodes
+    adj = [graph.neighbors(v) for v in graph.nodes()]
+    if start is not None:
+        states = [compiled.intern(s) for s in start]
+    else:
+        states = [compiled.init_id(graph.label_of(v)) for v in graph.nodes()]
+
+    # Per-node cached neighbour-multiset vectors (uncapped counts; zero
+    # entries are deleted so dict size tracks the occupied support).
+    nbr_counts: list[dict[int, int]] = []
+    for v in range(n):
+        counts: dict[int, int] = {}
+        for u in adj[v]:
+            s = states[u]
+            counts[s] = counts.get(s, 0) + 1
+        nbr_counts.append(counts)
+
+    # The flag arrays are live references: intern() appends to them in place,
+    # so states discovered mid-run are classified without re-fetching.
+    acc = compiled._accepting
+    rej = compiled._rejecting
+    num_acc = sum(1 for s in states if acc[s])
+    num_rej = sum(1 for s in states if rej[s])
+
+    beta = compiled.beta
+    degrees = [len(neighbours) for neighbours in adj]
+    # Per-node memoised view keys, invalidated when a neighbour flips.  A
+    # node's own flip does not touch its key: the view excludes the node.
+    view_keys: list[ViewKey | None] = [None] * n
+    step_id = compiled.step_id
+    table = compiled._table  # hit path inlined below; misses go via step_id
+
+    consensus_streak = 0
+    quiet_streak = 0
+    # Accept-first tie-break, mirroring consensus_value: a configuration in
+    # which every state is both accepting and rejecting reads as accepting.
+    last = True if num_acc == n else False if num_rej == n else None
+    stabilised_at: int | None = None
+    step = 0
+    for selection in schedule.selections(graph):
+        if step >= max_steps:
+            break
+        step += 1
+        # Evaluate every selected node on the *old* configuration.
+        flips: list[tuple[int, int, int]] | None = None
+        for v in selection:
+            sid = states[v]
+            key = view_keys[v]
+            if key is None:
+                counts = nbr_counts[v]
+                key = (
+                    degrees[v],
+                    tuple(
+                        sorted(
+                            (q, c if c < beta else beta) for q, c in counts.items()
+                        )
+                    ),
+                )
+                view_keys[v] = key
+            row = table.get(sid)
+            nxt = row.get(key) if row is not None else None
+            if nxt is None:
+                nxt = step_id(sid, key)
+            if nxt != sid:
+                if flips is None:
+                    flips = []
+                flips.append((v, sid, nxt))
+        if flips is None:
+            quiet_streak += 1
+        else:
+            quiet_streak = 0
+            for v, old, new in flips:
+                states[v] = new
+                num_acc += acc[new] - acc[old]
+                num_rej += rej[new] - rej[old]
+                for u in adj[v]:
+                    counts = nbr_counts[u]
+                    c = counts[old]
+                    if c == 1:
+                        del counts[old]
+                    else:
+                        counts[old] = c - 1
+                    counts[new] = counts.get(new, 0) + 1
+                    view_keys[u] = None
+        current = True if num_acc == n else False if num_rej == n else None
+        if current is not None and current == last:
+            consensus_streak += 1
+        else:
+            consensus_streak = 0
+        last = current
+        if consensus_streak >= stability_window:
+            stabilised_at = step
+            break
+        if quiet_streak >= stability_window and current is not None:
+            stabilised_at = step
+            break
+
+    final_value = True if num_acc == n else False if num_rej == n else None
+    if final_value is not None:
+        verdict = Verdict.ACCEPT if final_value else Verdict.REJECT
+    else:
+        verdict = Verdict.UNDECIDED
+    configuration = tuple(compiled.state_of(s) for s in states)
+    return RunResult(
+        verdict=verdict,
+        steps=step,
+        final_configuration=configuration,
+        stabilised_at=stabilised_at,
+        trace=None,
+    )

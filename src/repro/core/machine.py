@@ -235,8 +235,9 @@ class DistributedMachine:
 
         Convenience front-end for :class:`~repro.core.simulation.SimulationEngine`:
         builds an engine with the given bounds and backend (``"auto"``,
-        ``"per-node"``, ``"count"`` or a backend instance) and runs one
-        Monte-Carlo run, defaulting to a seeded random exclusive schedule.
+        ``"per-node"``, ``"compiled"``, ``"count"`` or a backend instance)
+        and runs one Monte-Carlo run, defaulting to a seeded random
+        exclusive schedule.
         ``seed`` only parameterises that default — combining it with an
         explicit ``schedule`` is rejected rather than silently ignored.
         Returns a :class:`~repro.core.results.RunResult`.

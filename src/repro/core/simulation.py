@@ -15,10 +15,14 @@ however, a simulated run that reaches a halted consensus is conclusive.
 The engine itself is a thin dispatcher: the actual run is executed by a
 pluggable :class:`~repro.core.backends.SimulationBackend`.  The default
 (``backend="auto"``) uses the count-based vectorized backend on clique
-instances — feasible up to populations of 10⁴–10⁶ agents — and the per-node
-reference backend everywhere else; see :mod:`repro.core.backends` for the
-scaling ladder.  Batches of runs (with derived per-run seeds, early stopping
-and aggregate statistics) go through :meth:`SimulationEngine.run_many`.
+instances — feasible up to populations of 10⁴–10⁶ agents — the compiled
+per-node engine (:mod:`repro.core.compile`; O(deg) per step, bit-identical
+to the reference) on every other instance, and the per-node reference loop
+only when a per-step trace is requested; see :mod:`repro.core.backends` for
+the scaling ladder.  Batches of runs (with derived per-run seeds, early
+stopping and aggregate statistics) go through
+:meth:`SimulationEngine.run_many`; because compilations are cached on the
+machine, all runs of a batch share one growing transition table.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import Callable
 from repro.core.automaton import DistributedAutomaton
 from repro.core.backends import (
     BackendUnsupported,
+    CompiledPerNodeBackend,
     CountBasedBackend,
     PerNodeBackend,
     SimulationBackend,
@@ -53,6 +58,7 @@ from repro.core.scheduler import (
 
 __all__ = [
     "BackendUnsupported",
+    "CompiledPerNodeBackend",
     "CountBasedBackend",
     "PerNodeBackend",
     "RunResult",
@@ -79,14 +85,16 @@ class SimulationEngine:
     record_trace:
         Keep the full configuration trace (memory-heavy; used by the
         Figure 2 reproduction and by debugging).  Forces the per-node
-        backend — the count-based engine does not track node identities.
+        reference backend — neither the count-based nor the compiled engine
+        materialises per-step configurations.
     backend:
-        ``"auto"`` (default), ``"per-node"``, ``"count"``, or a
-        :class:`~repro.core.backends.SimulationBackend` instance.  ``"auto"``
-        selects the count-based engine for clique instances under random
-        exclusive or synchronous schedules and the per-node reference
-        otherwise; naming a backend that cannot handle an instance raises
-        :class:`~repro.core.backends.BackendUnsupported`.
+        ``"auto"`` (default), ``"per-node"``, ``"compiled"``, ``"count"``,
+        or a :class:`~repro.core.backends.SimulationBackend` instance.
+        ``"auto"`` selects the count-based engine for clique instances under
+        random exclusive or synchronous schedules, the compiled per-node
+        engine for every other instance, and the per-node reference loop
+        when a trace is requested; naming a backend that cannot handle an
+        instance raises :class:`~repro.core.backends.BackendUnsupported`.
     """
 
     max_steps: int = 10_000

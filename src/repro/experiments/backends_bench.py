@@ -15,6 +15,7 @@ from repro.core import (
     Alphabet,
     RandomExclusiveSchedule,
     SimulationEngine,
+    cycle_graph,
     implicit_clique_graph,
 )
 from repro.core.labels import LabelCount
@@ -86,6 +87,84 @@ def end_to_end_comparison(ab: Alphabet, n: int, a_count: int, seed: int = 2) -> 
     }
 
 
+def compare_pernode_backends(
+    ab: Alphabet, n: int, a_count: int, steps: int, seed: int = 4
+) -> dict:
+    """Compiled vs reference per-node engines on one cycle majority instance.
+
+    The two engines consume the same schedule stream, so for the same seed
+    they execute the *same trajectory*; running both to an identical fixed
+    step budget makes the wall-time ratio a direct per-step speedup (and the
+    equal outcomes double as a differential check).
+    """
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    graph = cycle_graph(ab, labels, name=f"cycle-{n}")
+    timings: dict[str, float] = {}
+    outcomes: dict[str, tuple] = {}
+    for backend in ("per-node", "compiled"):
+        engine = SimulationEngine(
+            max_steps=steps, stability_window=10**9, backend=backend
+        )
+        start = time.perf_counter()
+        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+        timings[backend] = time.perf_counter() - start
+        outcomes[backend] = (result.verdict.value, result.steps, result.stabilised_at)
+    return {
+        "section": "pernode",
+        "graph": "cycle",
+        "n": n,
+        "steps": steps,
+        "identical_runs": outcomes["per-node"] == outcomes["compiled"],
+        "timings": timings,
+        "reference_us_per_step": timings["per-node"] / steps * 1e6,
+        "compiled_us_per_step": timings["compiled"] / steps * 1e6,
+        "speedup": timings["per-node"] / max(timings["compiled"], 1e-9),
+    }
+
+
+def pernode_step_cost_scaling(
+    ab: Alphabet,
+    small_n: int,
+    large_n: int,
+    compiled_steps: int,
+    reference_steps: int,
+    seed: int = 6,
+) -> dict:
+    """Per-step cost of both per-node engines at two cycle sizes.
+
+    The reference loop pays O(n) per step (configuration rebuild plus
+    consensus rescan), so its per-step cost grows with the population; the
+    compiled engine pays O(deg) — constant on a cycle.  The cost *ratios*
+    between the two sizes make that machine-readable: reference ≈
+    ``large_n / small_n``, compiled ≈ 1.
+    """
+    costs: dict[str, list[float]] = {}
+    for backend, budget in (("per-node", reference_steps), ("compiled", compiled_steps)):
+        per_step: list[float] = []
+        for n in (small_n, large_n):
+            machine = local_majority_machine(ab, n)
+            a_count = n // 2 + n // 10
+            labels = ["a"] * a_count + ["b"] * (n - a_count)
+            graph = cycle_graph(ab, labels, name=f"cycle-{n}")
+            engine = SimulationEngine(
+                max_steps=budget, stability_window=10**9, backend=backend
+            )
+            start = time.perf_counter()
+            engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+            per_step.append((time.perf_counter() - start) / budget)
+        costs[backend] = per_step
+    return {
+        "section": "pernode",
+        "graph": "cycle",
+        "sizes": [small_n, large_n],
+        "reference_us_per_step": [c * 1e6 for c in costs["per-node"]],
+        "compiled_us_per_step": [c * 1e6 for c in costs["compiled"]],
+        "reference_cost_ratio": costs["per-node"][1] / max(costs["per-node"][0], 1e-12),
+        "compiled_cost_ratio": costs["compiled"][1] / max(costs["compiled"][0], 1e-12),
+    }
+
+
 def population_count_engine_stats(ab: Alphabet, agents: int, seed: int = 3) -> dict:
     """The population-protocol count engine on a large threshold instance."""
     from repro.population import threshold_protocol
@@ -110,10 +189,14 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
     ab = Alphabet.of("a", "b")
     scale = (
         dict(n=2_000, a_count=1_100, per_node_budget=400, count_max_steps=120_000,
-             e2e_n=300, e2e_a=170, agents=2_000)
+             e2e_n=300, e2e_a=170, agents=2_000,
+             pn_n=600, pn_a=330, pn_steps=6_000, pn_sizes=(600, 2_400),
+             pn_ref_steps=1_500)
         if quick
         else dict(n=10_000, a_count=5_500, per_node_budget=800, count_max_steps=400_000,
-                  e2e_n=600, e2e_a=330, agents=10_000)
+                  e2e_n=600, e2e_a=330, agents=10_000,
+                  pn_n=2_000, pn_a=1_100, pn_steps=20_000, pn_sizes=(2_000, 8_000),
+                  pn_ref_steps=4_000)
     )
     entries: list[dict] = []
     stats = compare_backends(
@@ -124,5 +207,22 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
     entries.append({"name": "count-vs-per-node-end-to-end", "n": scale["e2e_n"], **e2e})
     entries.append(
         {"name": "population-count-engine", **population_count_engine_stats(ab, scale["agents"])}
+    )
+    # The "pernode" section: compiled vs reference per-node engines on
+    # non-clique instances (the count backend is ineligible there).
+    entries.append(
+        {
+            "name": "pernode-cycle-compiled-vs-reference",
+            **compare_pernode_backends(ab, scale["pn_n"], scale["pn_a"], scale["pn_steps"]),
+        }
+    )
+    small, large = scale["pn_sizes"]
+    entries.append(
+        {
+            "name": "pernode-cycle-step-cost-scaling",
+            **pernode_step_cost_scaling(
+                ab, small, large, scale["pn_steps"], scale["pn_ref_steps"]
+            ),
+        }
     )
     return entries

@@ -6,12 +6,20 @@ executes the rest — in-process when ``workers <= 1`` (the reference path the
 determinism tests compare against) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
 
-Scenario instances are rebuilt *inside* the workers from ``(scenario name,
-params)`` via the registry — machines close over lambdas and are not
-picklable, so nothing but plain dicts ever crosses the process boundary.
+Instances reach the workers along two routes.  Machine scenarios whose
+``"auto"`` backend is the compiled per-node engine are built **once in the
+parent**, compiled to picklable form
+(:func:`~repro.experiments.scenarios.shippable_instance`) and shipped with
+each chunk, so workers never rebuild them — an unpickled compiled machine
+re-binds its δ through the registry only if it meets a view its table has
+not memoised.  Everything else (population protocols with their own engine,
+clique instances served by the count backend, points whose construction
+fails) is rebuilt *inside* the workers from ``(scenario name, params)`` via
+the registry — those machines close over lambdas and are not picklable.
 Tasks are dispatched in chunks to amortise the per-submission overhead; a
-chunk-local instance cache means the ``runs`` runs of a grid point that land
-in the same chunk build their machine once.
+chunk-local instance cache, pre-seeded with the shipped instances, means the
+``runs`` runs of a grid point that land in the same chunk build their
+machine at most once.
 
 Failure isolation is per task: an exception inside one run produces a
 ``status="failed"`` record (with the error) and the sweep continues.  On
@@ -28,7 +36,7 @@ from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.experiments.scenarios import build_instance
+from repro.experiments.scenarios import build_instance, shippable_instance
 from repro.experiments.spec import ExperimentSpec, canonical_json
 from repro.experiments.store import ResultStore
 
@@ -105,10 +113,47 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
     return record
 
 
-def _run_chunk(tasks: list[dict], task_timeout: float | None) -> list[dict]:
-    """Worker entry point: run a chunk of tasks with a shared instance cache."""
-    cache: dict = {}
+def _run_chunk(
+    tasks: list[dict],
+    task_timeout: float | None,
+    shipped: dict | None = None,
+) -> list[dict]:
+    """Worker entry point: run a chunk of tasks with a shared instance cache.
+
+    ``shipped`` pre-seeds the cache with instances compiled in the parent
+    (keyed exactly like the cache, by ``(scenario, canonical params)``), so
+    the chunk only builds what could not be shipped.
+    """
+    cache: dict = dict(shipped) if shipped else {}
     return [_run_task(task, task_timeout, cache) for task in tasks]
+
+
+def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:
+    """Compile every shippable ``(scenario, params)`` of the task list once.
+
+    Only ``backend="auto"`` tasks participate: an explicit backend choice
+    must keep flowing through the engine's resolution inside the worker.
+    Construction errors are deliberately swallowed — the broken point falls
+    back to the registry path so the failure is recorded per task, keeping
+    the executor's failure-isolation contract.
+    """
+    shipped: dict[tuple, object] = {}
+    rejected: set[tuple] = set()
+    for task in todo:
+        if task["backend"] != "auto":
+            continue
+        key = (task["scenario"], canonical_json(task["params"]))
+        if key in shipped or key in rejected:
+            continue
+        try:
+            instance = shippable_instance(task["scenario"], task["params"])
+        except Exception:  # noqa: BLE001 - recorded when the worker rebuilds
+            instance = None
+        if instance is None:
+            rejected.add(key)
+        else:
+            shipped[key] = instance
+    return shipped
 
 
 @dataclass
@@ -194,11 +239,17 @@ def run_spec(
         summary.wall_time = time.perf_counter() - started
         return summary
 
+    shipped = _prepare_shipped(todo)
+
     if workers <= 1:
         if chunk_size is None:
             chunk_size = max(1, len(todo) // 8)
+        # The whole shipped dict is shared across chunks: the in-process run
+        # reuses one compiled transition table for every run of a point.
         for offset in range(0, len(todo), chunk_size):
-            collect(_run_chunk(todo[offset : offset + chunk_size], task_timeout))
+            collect(
+                _run_chunk(todo[offset : offset + chunk_size], task_timeout, shipped)
+            )
         summary.wall_time = time.perf_counter() - started
         return summary
 
@@ -207,9 +258,16 @@ def run_spec(
         # keeping chunks big enough that the instance cache pays off.
         chunk_size = max(1, min(16, -(-len(todo) // (workers * 4))))
     chunks = [todo[offset : offset + chunk_size] for offset in range(0, len(todo), chunk_size)]
+
+    def shipped_for(chunk: list[dict]) -> dict:
+        """Only the chunk's own instances cross the process boundary."""
+        keys = {(t["scenario"], canonical_json(t["params"])) for t in chunk}
+        return {key: shipped[key] for key in keys if key in shipped}
+
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {
-            pool.submit(_run_chunk, chunk, task_timeout): chunk for chunk in chunks
+            pool.submit(_run_chunk, chunk, task_timeout, shipped_for(chunk)): chunk
+            for chunk in chunks
         }
         while pending:
             finished, _ = wait(pending, return_when=FIRST_COMPLETED)

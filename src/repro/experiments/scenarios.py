@@ -38,10 +38,15 @@ loudly instead of silently running the default.
 
 from __future__ import annotations
 
+import functools
+import json
+import pickle
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
-from repro.core.batch import BatchResult
+from repro.core.backends import CompiledPerNodeBackend, resolve_backend
+from repro.core.batch import BatchResult, collect_batch, derive_seed
+from repro.core.compile import CompiledMachine, compile_machine, run_compiled
 from repro.core.graphs import (
     clique_from_count,
     cycle_from_count,
@@ -164,6 +169,106 @@ class PopulationInstance(ScenarioInstance):
         return self.protocol.run_many(
             self.count, runs=runs, base_seed=base_seed, max_steps=max_steps, quorum=quorum
         )
+
+
+@dataclass
+class CompiledMachineInstance(ScenarioInstance):
+    """A machine instance pre-compiled for shipping across process boundaries.
+
+    Unlike :class:`MachineInstance` (whose machine closes over lambdas and
+    cannot pickle), this form carries a
+    :class:`~repro.core.compile.CompiledMachine` — plain data plus a
+    registry-backed loader — and the concrete graph, so the sweep executor
+    can build it once in the parent and send it to every worker instead of
+    rebuilding the scenario inside each chunk.  Runs execute directly on the
+    compiled per-node engine, which is bit-identical to what
+    ``backend="auto"`` resolves to for these instances
+    (:func:`shippable_instance` only produces one when that holds), so the
+    ``backend`` argument of :meth:`run_once` is intentionally ignored.
+    """
+
+    compiled: CompiledMachine
+    graph: object  # LabeledGraph (same read interface as MachineInstance)
+    expected: bool | None = None
+
+    def run_once(
+        self, seed: int, max_steps: int, stability_window: int, backend: str = "auto"
+    ) -> TaskOutcome:
+        result = run_compiled(
+            self.compiled,
+            self.graph,
+            RandomExclusiveSchedule(seed=seed),
+            max_steps=max_steps,
+            stability_window=stability_window,
+        )
+        return TaskOutcome(result.verdict, result.steps)
+
+    def run_batch(
+        self,
+        runs: int,
+        base_seed: int,
+        max_steps: int,
+        stability_window: int,
+        backend: str = "auto",
+        quorum: float | None = None,
+    ) -> BatchResult:
+        # Mirrors SimulationEngine.run_many's randomized path: run i uses a
+        # RandomExclusiveSchedule seeded with derive_seed(base_seed, i).
+        def outcomes():
+            for index in range(runs):
+                outcome = self.run_once(
+                    derive_seed(base_seed, index), max_steps, stability_window
+                )
+                yield outcome.verdict, outcome.steps, None
+
+        return collect_batch(
+            outcomes(), runs=runs, base_seed=base_seed, quorum=quorum
+        )
+
+
+def _registry_machine(name: str, params_json: str):
+    """Rebuild just the machine of a registry instance.
+
+    Module-level with plain-string arguments so a ``functools.partial`` over
+    it pickles by reference; an unpickled
+    :class:`~repro.core.compile.CompiledMachine` calls it (at most once per
+    worker process) to re-bind δ on its first unmemoised view.
+    """
+    return build_instance(name, json.loads(params_json)).machine
+
+
+def shippable_instance(
+    name: str, params: Mapping[str, object] | None = None
+) -> ScenarioInstance | None:
+    """A picklable, pre-compiled form of ``build_instance(name, params)``.
+
+    Returns ``None`` when shipping does not apply: population scenarios run
+    their own count engine, clique instances are served by the (faster)
+    count backend, and anything whose graph or states fail to pickle falls
+    back to the registry path.  When an instance *is* returned, running it
+    is bit-identical to running the registry-built instance with
+    ``backend="auto"`` — same engine, same random stream.
+    """
+    instance = build_instance(name, params)
+    if not isinstance(instance, MachineInstance):
+        return None
+    probe = RandomExclusiveSchedule(seed=0)
+    backend = resolve_backend("auto", instance.machine, instance.graph, probe)
+    if not isinstance(backend, CompiledPerNodeBackend):
+        return None
+    loader = functools.partial(
+        _registry_machine, name, json.dumps(dict(params or {}), sort_keys=True)
+    )
+    shipped = CompiledMachineInstance(
+        compiled=compile_machine(instance.machine, loader=loader),
+        graph=instance.graph,
+        expected=instance.expected,
+    )
+    try:
+        pickle.dumps(shipped)
+    except Exception:
+        return None
+    return shipped
 
 
 # ---------------------------------------------------------------------- #

@@ -17,6 +17,15 @@ Three cross-validation layers, all seeded so failures reproduce:
 3. *Population protocols*: the count-vector engine of
    :class:`~repro.population.protocol.PopulationProtocol` against the
    per-agent engine and the exact (bottom-SCC) decision.
+
+4. *Non-clique graph matrix*: the compiled per-node engine
+   (:class:`~repro.core.backends.CompiledPerNodeBackend`) against the
+   reference loop over cycle / line / star / grid / ring-of-cliques ×
+   exclusive / synchronous schedules.  Because the compiled engine consumes
+   ``schedule.selections(graph)`` exactly like the reference, the contract
+   is *bit identity* for the same seed — verdict, step count,
+   ``stabilised_at`` and final configuration all equal — not just verdict
+   agreement.
 """
 
 from __future__ import annotations
@@ -29,8 +38,10 @@ from repro.core.automaton import automaton
 from repro.core.graphs import (
     clique_graph,
     cycle_graph,
+    grid_graph,
     line_graph,
     random_connected_graph,
+    ring_of_cliques,
     star_graph,
 )
 from repro.core.labels import Alphabet, LabelCount
@@ -182,6 +193,83 @@ def test_count_backend_agrees_with_per_node_across_seeds():
             )
             verdicts.add(engine.run_machine(machine, graph, schedule).verdict)
         assert verdicts == {Verdict.ACCEPT}
+
+
+# --------------------------------------------------------------------- #
+# Layer 4: compiled per-node engine vs reference loop, non-clique matrix
+# --------------------------------------------------------------------- #
+NON_CLIQUE_FAMILIES = ("cycle", "line", "star", "grid", "ring-of-cliques")
+
+
+def family_graph(family: str, rng: random.Random):
+    """A labelled instance of one of the non-clique families under test."""
+    if family == "cycle":
+        return cycle_graph(AB, [rng.choice("ab") for _ in range(rng.randint(3, 9))])
+    if family == "line":
+        return line_graph(AB, [rng.choice("ab") for _ in range(rng.randint(2, 9))])
+    if family == "star":
+        leaves = [rng.choice("ab") for _ in range(rng.randint(2, 7))]
+        return star_graph(AB, rng.choice("ab"), leaves)
+    if family == "grid":
+        rows, cols = rng.randint(2, 3), rng.randint(2, 4)
+        return grid_graph(
+            AB, rows, cols, [rng.choice("ab") for _ in range(rows * cols)]
+        )
+    sizes = [rng.randint(2, 4) for _ in range(rng.randint(2, 3))]
+    return ring_of_cliques(
+        AB, sizes, [rng.choice("ab") for _ in range(sum(sizes))]
+    )
+
+
+def run_result_tuple(result):
+    return (
+        result.verdict,
+        result.steps,
+        result.stabilised_at,
+        result.final_configuration,
+    )
+
+
+@pytest.mark.parametrize("family", NON_CLIQUE_FAMILIES)
+@pytest.mark.parametrize("schedule_kind", ["exclusive", "synchronous"])
+@pytest.mark.parametrize("case", range(3))
+def test_compiled_matches_reference_on_non_clique_matrix(family, schedule_kind, case):
+    """Bit-identical RunResults from the compiled engine and the reference
+    loop, for random machines on every non-clique family × schedule."""
+    rng = random.Random(f"{family}:{schedule_kind}:{case}")
+    machine = random_table_machine(11_000 + case)
+    graph = family_graph(family, rng)
+    seed = rng.randint(0, 10**6)
+    outcomes = []
+    for backend in ("per-node", "compiled"):
+        engine = SimulationEngine(max_steps=400, stability_window=25, backend=backend)
+        schedule = (
+            RandomExclusiveSchedule(seed=seed)
+            if schedule_kind == "exclusive"
+            else SynchronousSchedule()
+        )
+        outcomes.append(run_result_tuple(engine.run_machine(machine, graph, schedule)))
+    assert outcomes[0] == outcomes[1], (
+        f"{family}/{schedule_kind} case {case}: reference {outcomes[0][:3]} != "
+        f"compiled {outcomes[1][:3]} on {graph!r} with {machine.name}"
+    )
+
+
+@pytest.mark.parametrize("family", NON_CLIQUE_FAMILIES)
+def test_compiled_flooding_matches_reference_to_stabilisation(family):
+    """A consistent machine (∃a flooding) run to stabilisation: the compiled
+    engine must reproduce the reference's stabilisation step exactly."""
+    rng = random.Random(f"flood:{family}")
+    machine = exists_label_machine(AB, "a")
+    graph = family_graph(family, rng)
+    seed = rng.randint(0, 10**6)
+    outcomes = []
+    for backend in ("per-node", "compiled"):
+        engine = SimulationEngine(max_steps=6_000, stability_window=60, backend=backend)
+        result = engine.run_machine(machine, graph, RandomExclusiveSchedule(seed=seed))
+        outcomes.append(run_result_tuple(result))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][2] is not None, "expected the flooding run to stabilise"
 
 
 # --------------------------------------------------------------------- #

@@ -158,3 +158,57 @@ class TestPopulationRunMany:
         two = protocol.run_many(count, runs=4, base_seed=7)
         assert one.verdicts == two.verdicts and one.steps == two.steps
         assert one.consensus is Verdict.REJECT
+
+
+class TestPercentileFallback:
+    """The pure-python percentile branch (numpy ImportError path) must agree
+    with numpy's linear-interpolated percentile on odd and even sample sizes."""
+
+    SAMPLES = (
+        [7],
+        [9, 3],
+        [23, 4, 15, 8, 16],
+        [40, 10, 30, 20],
+        [5, 5, 5, 5, 5, 5],
+        [1, 100, 2, 99, 3, 98, 4],
+    )
+    PERCENTILES = (0, 10, 25, 50, 66.6, 75, 90, 100)
+
+    def _batch_for(self, steps):
+        return BatchResult(
+            verdicts=[Verdict.ACCEPT] * len(steps),
+            steps=list(steps),
+            planned_runs=len(steps),
+            base_seed=0,
+        )
+
+    def test_pure_python_fallback_matches_numpy(self, monkeypatch):
+        numpy = pytest.importorskip("numpy")
+        import repro.core.batch as batch_module
+
+        assert batch_module._np is not None, "toolchain ships numpy"
+        expected = {
+            (tuple(steps), pct): float(numpy.percentile(numpy.asarray(steps), pct))
+            for steps in self.SAMPLES
+            for pct in self.PERCENTILES
+        }
+        monkeypatch.setattr(batch_module, "_np", None)
+        for steps in self.SAMPLES:
+            batch = self._batch_for(steps)
+            for pct in self.PERCENTILES:
+                assert batch.step_percentile(pct) == pytest.approx(
+                    expected[(tuple(steps), pct)]
+                ), f"steps={steps} percentile={pct}"
+
+    def test_fallback_single_sample_and_bounds(self, monkeypatch):
+        import repro.core.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        batch = self._batch_for([42])
+        assert batch.step_percentile(0) == 42.0
+        assert batch.step_percentile(50) == 42.0
+        assert batch.step_percentile(100) == 42.0
+        with pytest.raises(ValueError):
+            batch.step_percentile(-1)
+        with pytest.raises(ValueError):
+            BatchResult(verdicts=[], steps=[], planned_runs=0, base_seed=0).step_percentile(50)

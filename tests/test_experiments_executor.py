@@ -198,3 +198,96 @@ class TestAggregation:
         line = store.results_path(spec).read_text().splitlines()[0]
         record = json.loads(line)
         assert {"task_id", "scenario", "params", "seed", "status"} <= set(record)
+
+
+class TestCompiledShipping:
+    """The executor ships pre-compiled machine instances to workers; the
+    registry path remains for everything that cannot (or should not) ship."""
+
+    def test_prepare_shipped_selects_only_compiled_eligible_auto_tasks(self):
+        from repro.experiments.executor import _prepare_shipped
+        from repro.experiments.scenarios import CompiledMachineInstance
+
+        def task(scenario, params, backend="auto"):
+            return {"scenario": scenario, "params": params, "backend": backend}
+
+        shipped = _prepare_shipped(
+            [
+                task("exists-label", {"a": 1, "b": 4}),  # cycle -> compiled engine
+                task("exists-label", {"a": 1, "b": 4}),  # duplicate: built once
+                task("clique-majority", {"a": 6, "b": 3}),  # count backend
+                task("population-parity", {"a": 3, "b": 2}),  # own engine
+                task("exists-label", {"a": 0, "b": 4}, backend="per-node"),
+                task("exists-label", {"a": 1, "b": 4, "graph": "bogus"}),  # raises
+            ]
+        )
+        assert set(shipped) == {
+            ("exists-label", '{"a":1,"b":4}'),
+        }
+        assert all(
+            isinstance(instance, CompiledMachineInstance)
+            for instance in shipped.values()
+        )
+
+    def test_shipped_instance_agrees_with_registry_instance(self):
+        from repro.experiments.scenarios import build_instance, shippable_instance
+
+        params = {"a": 1, "b": 5, "graph": "cycle"}
+        shipped = shippable_instance("exists-label", params)
+        assert shipped is not None
+        registry = build_instance("exists-label", params)
+        assert shipped.expected == registry.expected
+        for seed in (3, 99, 2024):
+            a = shipped.run_once(seed=seed, max_steps=5_000, stability_window=60)
+            b = registry.run_once(seed=seed, max_steps=5_000, stability_window=60)
+            assert (a.verdict, a.steps) == (b.verdict, b.steps)
+
+    def test_shipped_instance_survives_pickling_and_rebinds_in_place(self):
+        import pickle
+
+        from repro.experiments.scenarios import shippable_instance
+
+        shipped = shippable_instance("exists-label", {"a": 1, "b": 4})
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert not clone.compiled.bound
+        outcome = clone.run_once(seed=7, max_steps=5_000, stability_window=60)
+        fresh = shipped.run_once(seed=7, max_steps=5_000, stability_window=60)
+        assert (outcome.verdict, outcome.steps) == (fresh.verdict, fresh.steps)
+        assert clone.compiled.bound  # the registry loader re-attached δ
+
+    def test_serial_and_parallel_records_byte_identical_with_shipping(self, tmp_path):
+        """Beyond verdict/steps equality: the stored record dicts must be
+        identical field for field (wall_time aside) across worker counts,
+        for a spec that mixes shipped and registry-path scenarios."""
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "shipping-regression",
+                "sweeps": [
+                    {
+                        "scenario": "exists-label",
+                        "grid": {"a": [0, 1], "b": [4], "graph": ["cycle", "star"]},
+                    },
+                    {"scenario": "clique-majority", "grid": {"a": [6], "b": [3]}},
+                    {"scenario": "population-parity", "grid": {"a": [3], "b": [2]}},
+                ],
+                "runs": 2,
+                "base_seed": 5,
+                "max_steps": 20_000,
+                "stability_window": 100,
+            }
+        )
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_spec(spec, serial_store, workers=1)
+        parallel = run_spec(spec, parallel_store, workers=3)
+        assert serial.ok == parallel.ok == serial.total_tasks
+
+        def stripped(records):
+            cleaned = []
+            for record in records:
+                record = dict(record)
+                record.pop("wall_time")
+                cleaned.append(record)
+            return sorted(cleaned, key=lambda r: r["task_id"])
+
+        assert stripped(serial_store.load(spec)) == stripped(parallel_store.load(spec))
