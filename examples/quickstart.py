@@ -1,55 +1,81 @@
-"""Quickstart: build a distributed automaton, run it, and decide it exactly.
+"""Quickstart: one spec, one run surface — then the exact decision engine.
 
-This example builds the simplest interesting automaton — the non-counting,
-adversarial-fairness (dAf) automaton deciding "some node carries label a" —
-runs it on a few graphs with the Monte-Carlo simulator, and then decides it
-*exactly* with the configuration-graph engine, which quantifies over all fair
-schedules.
+Every runnable workload of the reproduction — detection machines, the
+broadcast/absence/rendez-vous compilations, population protocols — sits
+behind the same two objects:
+
+* :class:`repro.InstanceSpec` — a declarative, JSON round-trippable,
+  picklable description of one instance (scenario + parameters + engine
+  options);
+* :class:`repro.Workload` — built from a spec with
+  :func:`repro.build_workload`; ``run(seed)`` yields a
+  :class:`~repro.core.results.RunResult`, ``run_many(...)`` a seed-derived
+  Monte-Carlo :class:`~repro.core.batch.BatchResult`.
+
+The example runs three workload kinds through that one surface, shows the
+spec round-trip the sweep executor relies on, and finishes with the exact
+decision engine (configuration graph, all fair schedules) for contrast.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import (
-    Alphabet,
-    RandomExclusiveSchedule,
-    SimulationEngine,
-    cycle_graph,
-    decide,
-    line_graph,
-    star_graph,
-)
+import pickle
+
+from repro import EngineOptions, InstanceSpec, build_workload, list_scenarios
+from repro.core import Alphabet, cycle_graph, decide
 from repro.constructions import exists_label_automaton
 
 
 def main() -> None:
-    alphabet = Alphabet.of("a", "b")
-    automaton = exists_label_automaton(alphabet, "a")
-    print(f"Automaton: {automaton.name} (class {automaton.automaton_class})")
+    print("-- The scenario registry (python -m repro list-scenarios) --")
+    for scenario in list_scenarios():
+        print(f"{scenario.name:<21} {scenario.kind}")
 
-    graphs = [
-        cycle_graph(alphabet, ["b", "a", "b", "b", "b"], name="cycle with one a"),
-        line_graph(alphabet, ["b", "b", "b", "b"], name="line without a"),
-        star_graph(alphabet, "b", ["b", "a", "b"], name="star with one a-leaf"),
+    print("\n-- One run surface across workload kinds --")
+    specs = [
+        # A flooding ∃a detector (per-node/compiled machine substrate).
+        InstanceSpec("exists-label", {"a": 1, "b": 4, "graph": "cycle"}),
+        # A Lemma 4.7 weak-broadcast compilation deciding x_a >= 2.
+        InstanceSpec("threshold-broadcast", {"a": 2, "b": 2, "k": 2}),
+        # A classical population protocol (its own clique engines).
+        InstanceSpec("population-majority", {"a": 6, "b": 3}),
     ]
-
-    # backend="auto" picks the count-based engine on cliques and the
-    # per-node reference elsewhere; see examples/large_populations.py for
-    # the count backend at 10^4..10^6 agents.
-    engine = SimulationEngine(max_steps=5_000, stability_window=100, backend="auto")
-    print("\n-- Monte-Carlo simulation under a random fair schedule --")
-    for graph in graphs:
-        result = engine.run_machine(
-            automaton.machine, graph, RandomExclusiveSchedule(seed=42)
-        )
+    for spec in specs:
+        workload = build_workload(spec)
+        result = workload.run(seed=42)
         print(
-            f"{graph.name:<24} -> {result.verdict.value:<9} "
-            f"(stabilised after {result.stabilised_at} steps)"
+            f"{spec.scenario:<21} -> {result.verdict.value:<9} "
+            f"after {result.steps} steps (expected: {workload.expected})"
         )
+
+    print("\n-- Monte-Carlo batches: derived seeds, quorum early stop --")
+    workload = build_workload(
+        InstanceSpec(
+            "exists-label",
+            {"a": 1, "b": 6},
+            EngineOptions(max_steps=10_000, stability_window=200),
+        )
+    )
+    batch = workload.run_many(runs=20, base_seed=7, quorum=0.5)
+    print(batch.summary())
+
+    print("\n-- Specs are plain data: JSON and pickle round-trips --")
+    spec = specs[0]
+    assert InstanceSpec.from_json(spec.to_json()) == spec
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    print(f"spec key {spec.key()} survives json+pickle; canonical form:")
+    print(spec.to_json())
 
     print("\n-- Exact decision (all fair schedules, via the configuration graph) --")
-    for graph in graphs:
+    alphabet = Alphabet.of("a", "b")
+    automaton = exists_label_automaton(alphabet, "a")
+    for labels, name in [
+        (["b", "a", "b", "b", "b"], "cycle with one a"),
+        (["b", "b", "b", "b"], "cycle without a"),
+    ]:
+        graph = cycle_graph(alphabet, labels, name=name)
         report = decide(automaton, graph)
         print(
             f"{graph.name:<24} -> {report.verdict.value:<9} "

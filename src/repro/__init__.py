@@ -38,12 +38,21 @@ from repro.core import (
     decide,
 )
 from repro.properties import LabellingProperty, majority_property
+from repro.workloads import (
+    EngineOptions,
+    InstanceSpec,
+    Workload,
+    build_workload,
+    list_scenarios,
+)
 
 __all__ = [
     "Alphabet",
     "AutomatonClass",
     "DistributedAutomaton",
     "DistributedMachine",
+    "EngineOptions",
+    "InstanceSpec",
     "LabelCount",
     "LabeledGraph",
     "LabellingProperty",
@@ -51,8 +60,11 @@ __all__ = [
     "SelectionMode",
     "SimulationEngine",
     "Verdict",
+    "Workload",
     "__version__",
     "automaton",
+    "build_workload",
     "decide",
+    "list_scenarios",
     "majority_property",
 ]

@@ -75,10 +75,22 @@ class CompiledMachine:
         self,
         machine: DistributedMachine,
         loader: Callable[[], DistributedMachine] | None = None,
+        memo_cap: int | None = None,
     ):
         self.name = machine.name
         self.beta = machine.beta
         self.loader = loader
+        #: Upper bound on memoised ``(state, view) -> state`` entries; ``None``
+        #: is unbounded.  The table grows with distinct views, which on
+        #: high-degree graphs under schedule subclasses (the instances the
+        #: count backend cannot take) is unbounded in the run length — the cap
+        #: turns that into a bounded cache: views beyond it are evaluated
+        #: through δ without being stored.
+        self.memo_cap = memo_cap
+        #: Lookup statistics, accumulated by the engines (see ``stats()``).
+        self.hits = 0
+        self.misses = 0
+        self._entries = 0  # memoised entry count (tracked; table_size verifies)
         self._states: list[State] = []  # id -> state
         self._ids: dict[State, int] = {}  # state -> id
         self._accepting: list[bool] = []  # id -> machine.is_accepting(state)
@@ -174,7 +186,11 @@ class CompiledMachine:
     # Transition evaluation
     # ------------------------------------------------------------------ #
     def step_id(self, sid: int, view_key: ViewKey) -> int:
-        """δ on interned ids, memoised; misses decode the view and call δ."""
+        """δ on interned ids, memoised; misses decode the view and call δ.
+
+        A miss beyond ``memo_cap`` still answers (δ is evaluated directly)
+        but is not stored, so the table never outgrows the cap.
+        """
         row = self._table.get(sid)
         if row is None:
             row = self._table[sid] = {}
@@ -185,7 +201,9 @@ class CompiledMachine:
             counts = {self._states[q]: c for q, c in items}
             view = Neighborhood(counts, self.beta, total=degree)
             nxt = self.intern(machine.step(self._states[sid], view))
-            row[view_key] = nxt
+            if self.memo_cap is None or self._entries < self.memo_cap:
+                row[view_key] = nxt
+                self._entries += 1
         return nxt
 
     # ------------------------------------------------------------------ #
@@ -199,6 +217,26 @@ class CompiledMachine:
     def table_size(self) -> int:
         """Number of memoised ``(state, view) -> state`` entries."""
         return sum(len(row) for row in self._table.values())
+
+    def record_lookups(self, hits: int, misses: int) -> None:
+        """Fold one run's lookup counts into the lifetime statistics.
+
+        The engines keep per-run counters in locals (the hit path is inlined
+        in their hot loops) and flush them here once per run.
+        """
+        self.hits += hits
+        self.misses += misses
+
+    def stats(self) -> dict:
+        """Memo-table health: size, cap, and the lifetime hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "table_entries": self.table_size,
+            "memo_cap": self.memo_cap,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else None,
+        }
 
     def __repr__(self) -> str:
         kind = "bound" if self.bound else "unbound"
@@ -214,20 +252,25 @@ _CACHE_ATTR = "_compiled_machine_cache"
 def compile_machine(
     machine: DistributedMachine,
     loader: Callable[[], DistributedMachine] | None = None,
+    memo_cap: int | None = None,
 ) -> CompiledMachine:
     """The compiled form of ``machine``, cached on the machine itself.
 
     The cache makes every engine that compiles the same machine object —
     repeated ``run_machine`` calls, all runs of a ``run_many`` batch — share
     one growing transition table.  A ``loader`` passed on a later call is
-    attached to the cached compilation if it has none yet.
+    attached to the cached compilation if it has none yet; an explicit
+    ``memo_cap`` (re)configures the shared table's bound.
     """
     compiled = getattr(machine, _CACHE_ATTR, None)
     if compiled is None:
-        compiled = CompiledMachine(machine, loader=loader)
+        compiled = CompiledMachine(machine, loader=loader, memo_cap=memo_cap)
         machine.__dict__[_CACHE_ATTR] = compiled
-    elif loader is not None and compiled.loader is None:
-        compiled.loader = loader
+    else:
+        if loader is not None and compiled.loader is None:
+            compiled.loader = loader
+        if memo_cap is not None:
+            compiled.memo_cap = memo_cap
     return compiled
 
 
@@ -288,6 +331,12 @@ def run_compiled(
     last = True if num_acc == n else False if num_rej == n else None
     stabilised_at: int | None = None
     step = 0
+    # Lookup statistics stay in locals on the hot path; flushed once at the
+    # end via record_lookups (a miss that the memo cap keeps out of the table
+    # still counts as a miss — repeated δ evaluations are what the counter
+    # is there to surface).
+    hits = 0
+    misses = 0
     for selection in schedule.selections(graph):
         if step >= max_steps:
             break
@@ -311,7 +360,10 @@ def run_compiled(
             row = table.get(sid)
             nxt = row.get(key) if row is not None else None
             if nxt is None:
+                misses += 1
                 nxt = step_id(sid, key)
+            else:
+                hits += 1
             if nxt != sid:
                 if flips is None:
                     flips = []
@@ -346,6 +398,7 @@ def run_compiled(
             stabilised_at = step
             break
 
+    compiled.record_lookups(hits, misses)
     final_value = True if num_acc == n else False if num_rej == n else None
     if final_value is not None:
         verdict = Verdict.ACCEPT if final_value else Verdict.REJECT

@@ -12,8 +12,11 @@ Simulation never *proves* acceptance by stable consensus — it produces
 positive evidence, which the benchmarks label as such.  For halting automata,
 however, a simulated run that reaches a halted consensus is conclusive.
 
-The engine itself is a thin dispatcher: the actual run is executed by a
-pluggable :class:`~repro.core.backends.SimulationBackend`.  The default
+The engine itself is a thin shim over the unified workload surface
+(:mod:`repro.workloads`): ``run_machine`` and ``run_many`` delegate to an
+ad-hoc :class:`~repro.workloads.machine.MachineWorkload`, whose run path
+dispatches to a pluggable
+:class:`~repro.core.backends.SimulationBackend`.  The default
 (``backend="auto"``) uses the count-based vectorized backend on clique
 instances — feasible up to populations of 10⁴–10⁶ agents — the compiled
 per-node engine (:mod:`repro.core.compile`; O(deg) per step, bit-identical
@@ -39,7 +42,7 @@ from repro.core.backends import (
     SimulationBackend,
     resolve_backend,
 )
-from repro.core.batch import BatchResult, collect_batch, derive_seed, quorum_target
+from repro.core.batch import BatchResult
 from repro.core.configuration import (
     Configuration,
     initial_configuration,
@@ -103,6 +106,32 @@ class SimulationEngine:
     backend: str | SimulationBackend = "auto"
 
     # ------------------------------------------------------------------ #
+    def _workload(self, machine: DistributedMachine, graph: LabeledGraph, **extra):
+        """The ad-hoc :class:`~repro.workloads.machine.MachineWorkload` of
+        this engine's settings — the unified run surface every engine call
+        now delegates to.  Imported lazily: core is the base layer and
+        :mod:`repro.workloads` imports it."""
+        from repro.workloads.machine import MachineWorkload
+        from repro.workloads.spec import EngineOptions
+
+        backend = self.backend
+        override = None
+        if not isinstance(backend, str):
+            backend, override = "auto", backend
+        return MachineWorkload(
+            machine=machine,
+            graph=graph,
+            options=EngineOptions(
+                max_steps=self.max_steps,
+                stability_window=self.stability_window,
+                backend=backend,
+                record_trace=self.record_trace,
+                **extra.pop("options", {}),
+            ),
+            backend_override=override,
+            **extra,
+        )
+
     def backend_for(
         self,
         machine: DistributedMachine,
@@ -119,17 +148,12 @@ class SimulationEngine:
         schedule: ScheduleGenerator,
         start: Configuration | None = None,
     ) -> RunResult:
-        """Run ``machine`` on ``graph`` under the given schedule generator."""
-        backend = self.backend_for(machine, graph, schedule)
-        return backend.run(
-            machine,
-            graph,
-            schedule,
-            max_steps=self.max_steps,
-            stability_window=self.stability_window,
-            record_trace=self.record_trace,
-            start=start,
-        )
+        """Run ``machine`` on ``graph`` under the given schedule generator.
+
+        Thin shim over the unified workload surface
+        (:meth:`repro.workloads.machine.MachineWorkload.run_with_schedule`).
+        """
+        return self._workload(machine, graph).run_with_schedule(schedule, start=start)
 
     # ------------------------------------------------------------------ #
     def run_automaton(
@@ -190,8 +214,6 @@ class SimulationEngine:
         ignored on that path: no compute can be saved, and truncating the
         replicated batch would misreport it as stopped early.
         """
-        if runs < 1:
-            raise ValueError("a batch needs at least one run")
         deterministic = False
         if isinstance(automaton, DistributedAutomaton):
             from repro.core.scheduler import SelectionMode
@@ -205,31 +227,18 @@ class SimulationEngine:
         else:
             machine = automaton
             default_factory = lambda seed: RandomExclusiveSchedule(seed=seed)
-        factory = schedule_factory or default_factory
 
+        # Delegate the batch loop to the one Workload.run_many implementation:
+        # a deterministic (synchronous) automaton maps to a declarative
+        # synchronous-schedule workload (simulated once and replicated); every
+        # other instance carries its schedule factory into the workload.
         if deterministic:
-            # Validate the argument even though it is ignored on this path,
-            # so a bad quorum fails identically for every selection mode.
-            quorum_target(runs, quorum)
-            quorum = None
-            result = self.run_machine(
-                machine, graph, factory(derive_seed(base_seed, 0))
-            )
-
-            def outcomes():
-                for _ in range(runs):
-                    yield result.verdict, result.steps, result
-
+            workload = self._workload(machine, graph, options={"schedule": "synchronous"})
         else:
-
-            def outcomes():
-                for index in range(runs):
-                    schedule = factory(derive_seed(base_seed, index))
-                    result = self.run_machine(machine, graph, schedule)
-                    yield result.verdict, result.steps, result
-
-        return collect_batch(
-            outcomes(),
+            workload = self._workload(
+                machine, graph, schedule_factory=schedule_factory or default_factory
+            )
+        return workload.run_many(
             runs=runs,
             base_seed=base_seed,
             quorum=quorum,

@@ -4,10 +4,12 @@ This package is the layer that drives every runnable workload of the
 reproduction at scale, the way sampling-based toolboxes package their
 analyses behind a declarative front end:
 
-* :mod:`repro.experiments.scenarios` — a registry exposing every workload
-  (detection machines, the broadcast/absence/rendez-vous compilations,
-  population protocols) behind one factory interface keyed by scenario name
-  and a plain parameter dict;
+* :mod:`repro.workloads` — the unified workload layer this package runs on:
+  the scenario registry (detection machines, the broadcast/absence/rendez-vous
+  compilations, population protocols), the declarative
+  :class:`~repro.workloads.spec.InstanceSpec` descriptor and the
+  :class:`~repro.workloads.base.Workload` run surface
+  (:mod:`repro.experiments.scenarios` remains as a deprecated shim);
 * :mod:`repro.experiments.spec` — :class:`ExperimentSpec`, a dict/JSON
   round-trippable description of scenario × parameter grid × runs × backend
   that expands deterministically into per-run tasks seeded via

@@ -26,9 +26,9 @@ import time
 from pathlib import Path
 
 from repro.experiments.report import agreement_reports, summarise, sweep_table
-from repro.experiments.scenarios import list_scenarios
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore
+from repro.workloads import list_scenarios
 
 #: The built-in spec ``python -m repro bench`` sweeps: one grid per scenario
 #: family, covering every workload kind the registry distinguishes — the

@@ -6,25 +6,29 @@ executes the rest — in-process when ``workers <= 1`` (the reference path the
 determinism tests compare against) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
 
-Instances reach the workers along two routes.  Machine scenarios whose
-``"auto"`` backend is the compiled per-node engine are built **once in the
-parent**, compiled to picklable form
-(:func:`~repro.experiments.scenarios.shippable_instance`) and shipped with
-each chunk, so workers never rebuild them — an unpickled compiled machine
-re-binds its δ through the registry only if it meets a view its table has
-not memoised.  Everything else (population protocols with their own engine,
-clique instances served by the count backend, points whose construction
-fails) is rebuilt *inside* the workers from ``(scenario name, params)`` via
-the registry — those machines close over lambdas and are not picklable.
-Tasks are dispatched in chunks to amortise the per-submission overhead; a
-chunk-local instance cache, pre-seeded with the shipped instances, means the
-``runs`` runs of a grid point that land in the same chunk build their
-machine at most once.
+Every task *is* an :class:`~repro.workloads.spec.InstanceSpec` on the wire —
+scenario name, full parameter assignment, engine options — and workers turn
+it into a runnable :class:`~repro.workloads.base.Workload` with
+:func:`~repro.workloads.base.build_workload`.  That holds uniformly for all
+workload kinds; the old fork between "shippable compiled instances" and
+"registry rebuild instructions" is gone.  On top of the spec route, the
+parent asks each distinct workload for its :meth:`Workload.shippable` form
+once and pre-seeds the worker caches with the picklable stand-ins (compiled
+machines whose ``"auto"`` backend is the compiled per-node engine), so those
+workers never rebuild the machine — an unpickled compiled machine re-binds
+its δ through the registry only if it meets a view its table has not
+memoised.  Tasks are dispatched in chunks to amortise the per-submission
+overhead; a chunk-local workload cache means the ``runs`` runs of a grid
+point that land in the same chunk build their machine at most once, with
+per-task engine options applied through the cheap
+:meth:`Workload.with_options` copy.
 
-Failure isolation is per task: an exception inside one run produces a
-``status="failed"`` record (with the error) and the sweep continues.  On
-POSIX a per-task wall-clock timeout is enforced with an interval timer inside
-the worker (``status="timeout"``); both statuses are retried on resume.
+Failure isolation is per task: an exception inside one run (including a
+spec-level validation rejection, e.g. the absence multi-probe guard)
+produces a ``status="failed"`` record (with the error) and the sweep
+continues.  On POSIX a per-task wall-clock timeout is enforced with an
+interval timer inside the worker (``status="timeout"``); both statuses are
+retried on resume.
 """
 
 from __future__ import annotations
@@ -36,9 +40,10 @@ from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.experiments.scenarios import build_instance, shippable_instance
-from repro.experiments.spec import ExperimentSpec, canonical_json
+from repro.experiments.spec import ExperimentSpec, RunTask, canonical_json
 from repro.experiments.store import ResultStore
+from repro.workloads.base import build_workload
+from repro.workloads.spec import InstanceSpec
 
 
 class TaskTimeout(Exception):
@@ -74,6 +79,16 @@ class _Alarm:
         raise TaskTimeout()
 
 
+def _task_key(task: dict) -> tuple:
+    """The workload cache key: one entry per distinct instance recipe."""
+    return (task["scenario"], canonical_json(task["params"]))
+
+
+def _task_spec(task: dict) -> InstanceSpec:
+    """The instance spec a task dict denotes (runs full spec validation)."""
+    return RunTask.from_dict(task).instance_spec()
+
+
 def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
     """Execute one task dict; never raises — failures become records."""
     record = {
@@ -87,17 +102,16 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
     start = time.perf_counter()
     try:
         with _Alarm(task_timeout):
-            cache_key = (task["scenario"], canonical_json(task["params"]))
-            instance = cache.get(cache_key)
-            if instance is None:
-                instance = build_instance(task["scenario"], task["params"])
-                cache[cache_key] = instance
-            outcome = instance.run_once(
-                seed=task["seed"],
+            key = _task_key(task)
+            workload = cache.get(key)
+            if workload is None:
+                workload = build_workload(_task_spec(task))
+                cache[key] = workload
+            result = workload.with_options(
                 max_steps=task["max_steps"],
                 stability_window=task["stability_window"],
                 backend=task["backend"],
-            )
+            ).run(task["seed"])
     except TaskTimeout:
         record.update(status="timeout", error=f"exceeded {task_timeout}s")
     except Exception as exc:  # noqa: BLE001 - failure isolation is the point
@@ -105,9 +119,9 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
     else:
         record.update(
             status="ok",
-            verdict=outcome.verdict.value,
-            steps=outcome.steps,
-            expected=instance.expected,
+            verdict=result.verdict.value,
+            steps=result.steps,
+            expected=workload.expected,
         )
     record["wall_time"] = round(time.perf_counter() - start, 6)
     return record
@@ -118,41 +132,41 @@ def _run_chunk(
     task_timeout: float | None,
     shipped: dict | None = None,
 ) -> list[dict]:
-    """Worker entry point: run a chunk of tasks with a shared instance cache.
+    """Worker entry point: run a chunk of tasks with a shared workload cache.
 
-    ``shipped`` pre-seeds the cache with instances compiled in the parent
+    ``shipped`` pre-seeds the cache with workloads built in the parent
     (keyed exactly like the cache, by ``(scenario, canonical params)``), so
-    the chunk only builds what could not be shipped.
+    the chunk only builds what could not ship.
     """
     cache: dict = dict(shipped) if shipped else {}
     return [_run_task(task, task_timeout, cache) for task in tasks]
 
 
 def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:
-    """Compile every shippable ``(scenario, params)`` of the task list once.
+    """The shippable workload of every distinct instance recipe, built once.
 
     Only ``backend="auto"`` tasks participate: an explicit backend choice
-    must keep flowing through the engine's resolution inside the worker.
-    Construction errors are deliberately swallowed — the broken point falls
-    back to the registry path so the failure is recorded per task, keeping
-    the executor's failure-isolation contract.
+    must keep flowing through backend resolution inside the worker.
+    Construction and validation errors are deliberately swallowed — the
+    broken point falls back to the in-worker spec route so the failure is
+    recorded per task, keeping the executor's failure-isolation contract.
     """
     shipped: dict[tuple, object] = {}
     rejected: set[tuple] = set()
     for task in todo:
         if task["backend"] != "auto":
             continue
-        key = (task["scenario"], canonical_json(task["params"]))
+        key = _task_key(task)
         if key in shipped or key in rejected:
             continue
         try:
-            instance = shippable_instance(task["scenario"], task["params"])
+            candidate = build_workload(_task_spec(task)).shippable()
         except Exception:  # noqa: BLE001 - recorded when the worker rebuilds
-            instance = None
-        if instance is None:
+            candidate = None
+        if candidate is None:
             rejected.add(key)
         else:
-            shipped[key] = instance
+            shipped[key] = candidate
     return shipped
 
 
@@ -255,13 +269,13 @@ def run_spec(
 
     if chunk_size is None:
         # Aim for a few chunks per worker so stragglers rebalance, while
-        # keeping chunks big enough that the instance cache pays off.
+        # keeping chunks big enough that the workload cache pays off.
         chunk_size = max(1, min(16, -(-len(todo) // (workers * 4))))
     chunks = [todo[offset : offset + chunk_size] for offset in range(0, len(todo), chunk_size)]
 
     def shipped_for(chunk: list[dict]) -> dict:
-        """Only the chunk's own instances cross the process boundary."""
-        keys = {(t["scenario"], canonical_json(t["params"])) for t in chunk}
+        """Only the chunk's own workloads cross the process boundary."""
+        keys = {_task_key(task) for task in chunk}
         return {key: shipped[key] for key in keys if key in shipped}
 
     with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -1,67 +1,53 @@
-"""The scenario registry: every runnable workload behind one factory interface.
+"""Legacy scenario surface — thin deprecated shims over :mod:`repro.workloads`.
 
-A *scenario* is a named family of experiment instances — a machine (or
-protocol) together with the input it runs on — parameterised by a plain
-``{str: value}`` dict so that specs stay JSON round-trippable and worker
-processes can rebuild instances from nothing but the registry.  Machines
-carry closures and are not picklable; the executor therefore ships
-``(scenario name, params)`` across process boundaries and calls
-:func:`build_instance` inside the worker.
+The scenario registry and the per-kind run surfaces that used to live here
+moved to :mod:`repro.workloads` (the registry to
+:mod:`repro.workloads.registry` / :mod:`repro.workloads.catalog`, the run
+surfaces to the unified :class:`~repro.workloads.base.Workload` protocol).
+This module keeps the old names importable:
 
-Registered scenarios cover every workload family of the codebase:
+* the registry names (``SCENARIOS``, ``Scenario``, ``KINDS``,
+  ``register_scenario``, ``get_scenario``, ``list_scenarios``,
+  ``local_majority_machine``) are straight re-exports — they are not
+  deprecated, only re-homed;
+* ``build_instance`` / ``shippable_instance`` and the
+  :class:`ScenarioInstance` ``run_once``/``run_batch`` trio are **deprecated
+  delegating shims**: they forward to the matching workload and emit a
+  :class:`DeprecationWarning` exactly once per process (see
+  :mod:`repro.workloads.compat`).  Migrate via::
 
-=================== ================= ==========================================
-name                kind              workload
-=================== ================= ==========================================
-exists-label        detection-machine flooding dAF detector for ``∃a`` on any
-                                      graph family
-clique-majority     detection-machine local-majority counting machine on an
-                                      implicit clique (count-backend substrate)
-threshold-broadcast broadcast         Lemma C.5 ``x_a ≥ k`` weak-broadcast
-                                      protocol compiled via Lemma 4.7
-absence-probe       absence           DA$ support probe compiled for bounded
-                                      degree via Lemma 4.9 (Appendix B.3)
-rendezvous-parity   rendezvous        pair-interaction parity compiled via the
-                                      Figure 4 handshake (Lemma 4.10)
-rendezvous-majority rendezvous        majority-with-movement under the same
-                                      handshake compilation
-population-majority population        classical 4-state exact majority
-population-threshold population      token-accumulation ``x_a ≥ k``
-population-parity   population        leader-based parity
-=================== ================= ==========================================
-
-Every scenario declares ``defaults`` — a complete parameter assignment that
-constructs a small, fast instance.  Parameter dicts passed to
-:func:`build_instance` are validated against the default keys, so typos fail
-loudly instead of silently running the default.
+      build_instance(name, params).run_once(seed, max_steps, window)
+      # ->
+      build_workload(InstanceSpec(name, params, EngineOptions(...))).run(seed)
 """
 
 from __future__ import annotations
 
-import functools
-import json
-import pickle
-from collections.abc import Callable, Mapping
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass
 
-from repro.core.backends import CompiledPerNodeBackend, resolve_backend
-from repro.core.batch import BatchResult, collect_batch, derive_seed
-from repro.core.compile import CompiledMachine, compile_machine, run_compiled
-from repro.core.graphs import (
-    clique_from_count,
-    cycle_from_count,
-    line_from_count,
-    random_connected_graph,
-    star_from_count,
-)
-from repro.core.labels import Alphabet, LabelCount
-from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.core.batch import BatchResult
+from repro.core.compile import CompiledMachine
+from repro.core.labels import LabelCount
+from repro.core.machine import DistributedMachine
 from repro.core.results import Verdict
-from repro.core.scheduler import RandomExclusiveSchedule
-from repro.core.simulation import SimulationEngine
+from repro.workloads.base import Workload
+from repro.workloads.catalog import AB, local_majority_machine  # noqa: F401  (re-export)
+from repro.workloads.compat import warn_once
+from repro.workloads.machine import CompiledMachineWorkload, MachineWorkload
+from repro.workloads.population import PopulationWorkload
+from repro.workloads.registry import (  # noqa: F401  (re-exports)
+    KINDS,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    validated_params,
+)
+from repro.workloads.spec import EngineOptions
 
-#: The alphabet every registered scenario runs over.
-AB = Alphabet.of("a", "b")
+_NEW_API = "repro.workloads (InstanceSpec + build_workload + Workload.run/run_many)"
 
 
 @dataclass(frozen=True)
@@ -73,15 +59,17 @@ class TaskOutcome:
 
 
 class ScenarioInstance:
-    """One concrete experiment instance, ready to run.
+    """Deprecated: one concrete experiment instance, ready to run.
 
-    ``expected`` is the ground-truth answer of the underlying property on
-    this instance (``None`` when the scenario declares no ground truth, e.g.
-    majority races within the stabilisation margin); the report layer uses it
-    to build :class:`~repro.analysis.harness.AgreementReport` rows.
+    Superseded by :class:`~repro.workloads.base.Workload`; the subclasses
+    below keep their old fields and delegate every run to the matching
+    workload class.
     """
 
     expected: bool | None = None
+
+    def _workload(self, max_steps: int, stability_window: int, backend: str) -> Workload:
+        raise NotImplementedError
 
     def run_once(
         self,
@@ -90,7 +78,9 @@ class ScenarioInstance:
         stability_window: int,
         backend: str = "auto",
     ) -> TaskOutcome:
-        raise NotImplementedError
+        warn_once("ScenarioInstance.run_once", f"Workload.run via {_NEW_API}")
+        result = self._workload(max_steps, stability_window, backend).run(seed)
+        return TaskOutcome(result.verdict, result.steps)
 
     def run_batch(
         self,
@@ -101,499 +91,112 @@ class ScenarioInstance:
         backend: str = "auto",
         quorum: float | None = None,
     ) -> BatchResult:
-        raise NotImplementedError
+        warn_once("ScenarioInstance.run_batch", f"Workload.run_many via {_NEW_API}")
+        return self._workload(max_steps, stability_window, backend).run_many(
+            runs=runs, base_seed=base_seed, quorum=quorum
+        )
 
 
 @dataclass
 class MachineInstance(ScenarioInstance):
-    """A distributed machine on a concrete graph, run under random schedules."""
+    """Deprecated: a distributed machine on a concrete graph."""
 
     machine: DistributedMachine
     graph: object  # LabeledGraph | ImplicitCliqueGraph (same read interface)
     expected: bool | None = None
 
-    def _engine(self, max_steps: int, stability_window: int, backend: str) -> SimulationEngine:
-        return SimulationEngine(
-            max_steps=max_steps, stability_window=stability_window, backend=backend
-        )
-
-    def run_once(
-        self, seed: int, max_steps: int, stability_window: int, backend: str = "auto"
-    ) -> TaskOutcome:
-        engine = self._engine(max_steps, stability_window, backend)
-        result = engine.run_machine(
-            self.machine, self.graph, RandomExclusiveSchedule(seed=seed)
-        )
-        return TaskOutcome(result.verdict, result.steps)
-
-    def run_batch(
-        self,
-        runs: int,
-        base_seed: int,
-        max_steps: int,
-        stability_window: int,
-        backend: str = "auto",
-        quorum: float | None = None,
-    ) -> BatchResult:
-        engine = self._engine(max_steps, stability_window, backend)
-        return engine.run_many(
-            self.machine, self.graph, runs=runs, base_seed=base_seed, quorum=quorum
+    def _workload(self, max_steps: int, stability_window: int, backend: str) -> Workload:
+        return MachineWorkload(
+            machine=self.machine,
+            graph=self.graph,
+            options=EngineOptions(
+                max_steps=max_steps, stability_window=stability_window, backend=backend
+            ),
+            expected=self.expected,
         )
 
 
 @dataclass
 class PopulationInstance(ScenarioInstance):
-    """A population protocol on a label count (clique interactions)."""
+    """Deprecated: a population protocol on a label count."""
 
-    protocol: object  # PopulationProtocol (imported lazily to keep startup light)
+    protocol: object  # PopulationProtocol
     count: LabelCount
     expected: bool | None = None
 
-    def run_once(
-        self, seed: int, max_steps: int, stability_window: int, backend: str = "auto"
-    ) -> TaskOutcome:
-        # The population engines use the 10·n streak window of the protocol
-        # module; stability_window and backend do not apply here.
-        verdict, steps = self.protocol.simulate(self.count, max_steps=max_steps, seed=seed)
-        return TaskOutcome(verdict, steps)
-
-    def run_batch(
-        self,
-        runs: int,
-        base_seed: int,
-        max_steps: int,
-        stability_window: int,
-        backend: str = "auto",
-        quorum: float | None = None,
-    ) -> BatchResult:
-        return self.protocol.run_many(
-            self.count, runs=runs, base_seed=base_seed, max_steps=max_steps, quorum=quorum
+    def _workload(self, max_steps: int, stability_window: int, backend: str) -> Workload:
+        # stability_window does not apply (the population engines use their
+        # 10·n streak window) — mirrored from the legacy behaviour.
+        return PopulationWorkload(
+            protocol=self.protocol,
+            count=self.count,
+            options=EngineOptions(max_steps=max_steps, backend=backend),
+            expected=self.expected,
         )
 
 
 @dataclass
 class CompiledMachineInstance(ScenarioInstance):
-    """A machine instance pre-compiled for shipping across process boundaries.
-
-    Unlike :class:`MachineInstance` (whose machine closes over lambdas and
-    cannot pickle), this form carries a
-    :class:`~repro.core.compile.CompiledMachine` — plain data plus a
-    registry-backed loader — and the concrete graph, so the sweep executor
-    can build it once in the parent and send it to every worker instead of
-    rebuilding the scenario inside each chunk.  Runs execute directly on the
-    compiled per-node engine, which is bit-identical to what
-    ``backend="auto"`` resolves to for these instances
-    (:func:`shippable_instance` only produces one when that holds), so the
-    ``backend`` argument of :meth:`run_once` is intentionally ignored.
-    """
+    """Deprecated: a machine instance pre-compiled for process shipping."""
 
     compiled: CompiledMachine
     graph: object  # LabeledGraph (same read interface as MachineInstance)
     expected: bool | None = None
 
-    def run_once(
-        self, seed: int, max_steps: int, stability_window: int, backend: str = "auto"
-    ) -> TaskOutcome:
-        result = run_compiled(
-            self.compiled,
-            self.graph,
-            RandomExclusiveSchedule(seed=seed),
-            max_steps=max_steps,
-            stability_window=stability_window,
-        )
-        return TaskOutcome(result.verdict, result.steps)
-
-    def run_batch(
-        self,
-        runs: int,
-        base_seed: int,
-        max_steps: int,
-        stability_window: int,
-        backend: str = "auto",
-        quorum: float | None = None,
-    ) -> BatchResult:
-        # Mirrors SimulationEngine.run_many's randomized path: run i uses a
-        # RandomExclusiveSchedule seeded with derive_seed(base_seed, i).
-        def outcomes():
-            for index in range(runs):
-                outcome = self.run_once(
-                    derive_seed(base_seed, index), max_steps, stability_window
-                )
-                yield outcome.verdict, outcome.steps, None
-
-        return collect_batch(
-            outcomes(), runs=runs, base_seed=base_seed, quorum=quorum
+    def _workload(self, max_steps: int, stability_window: int, backend: str) -> Workload:
+        # The compiled engine is what backend="auto" resolves to for every
+        # instance this class is built for; the backend argument is
+        # intentionally ignored, as before.
+        return CompiledMachineWorkload(
+            compiled=self.compiled,
+            graph=self.graph,
+            options=EngineOptions(max_steps=max_steps, stability_window=stability_window),
+            expected=self.expected,
         )
 
 
-def _registry_machine(name: str, params_json: str):
-    """Rebuild just the machine of a registry instance.
+def _instance_of(workload: Workload) -> ScenarioInstance:
+    """The legacy instance shape of a freshly built workload."""
+    if isinstance(workload, MachineWorkload):
+        return MachineInstance(
+            machine=workload.machine, graph=workload.graph, expected=workload.expected
+        )
+    if isinstance(workload, PopulationWorkload):
+        return PopulationInstance(
+            protocol=workload.protocol, count=workload.count, expected=workload.expected
+        )
+    raise TypeError(f"no legacy instance shape for {type(workload).__name__}")
 
-    Module-level with plain-string arguments so a ``functools.partial`` over
-    it pickles by reference; an unpickled
-    :class:`~repro.core.compile.CompiledMachine` calls it (at most once per
-    worker process) to re-bind δ on its first unmemoised view.
+
+def build_instance(name: str, params: Mapping[str, object] | None = None) -> ScenarioInstance:
+    """Deprecated: build a legacy instance of a registered scenario.
+
+    Parameter validation (defaults merge, unknown-key rejection) lives in
+    :func:`repro.workloads.registry.validated_params`; the spec-level
+    workload guards (rendez-vous window, absence multi-probe) apply only to
+    the new :class:`~repro.workloads.spec.InstanceSpec` route.
     """
-    return build_instance(name, json.loads(params_json)).machine
+    warn_once("build_instance", f"build_workload via {_NEW_API}")
+    workload = get_scenario(name).builder(validated_params(name, params))
+    return _instance_of(workload)
 
 
 def shippable_instance(
     name: str, params: Mapping[str, object] | None = None
 ) -> ScenarioInstance | None:
-    """A picklable, pre-compiled form of ``build_instance(name, params)``.
+    """Deprecated: a picklable, pre-compiled form of ``build_instance(...)``.
 
-    Returns ``None`` when shipping does not apply: population scenarios run
-    their own count engine, clique instances are served by the (faster)
-    count backend, and anything whose graph or states fail to pickle falls
-    back to the registry path.  When an instance *is* returned, running it
-    is bit-identical to running the registry-built instance with
-    ``backend="auto"`` — same engine, same random stream.
+    Returns ``None`` exactly when :meth:`MachineWorkload.ship_as` declines
+    (population scenarios, count-backend cliques, unpicklable graphs).
     """
-    instance = build_instance(name, params)
-    if not isinstance(instance, MachineInstance):
+    warn_once("shippable_instance", f"Workload.shippable via {_NEW_API}")
+    merged = validated_params(name, params)
+    workload = get_scenario(name).builder(merged)
+    if not isinstance(workload, MachineWorkload):
         return None
-    probe = RandomExclusiveSchedule(seed=0)
-    backend = resolve_backend("auto", instance.machine, instance.graph, probe)
-    if not isinstance(backend, CompiledPerNodeBackend):
+    shipped = workload.ship_as(name, merged)
+    if shipped is None:
         return None
-    loader = functools.partial(
-        _registry_machine, name, json.dumps(dict(params or {}), sort_keys=True)
+    return CompiledMachineInstance(
+        compiled=shipped.compiled, graph=shipped.graph, expected=shipped.expected
     )
-    shipped = CompiledMachineInstance(
-        compiled=compile_machine(instance.machine, loader=loader),
-        graph=instance.graph,
-        expected=instance.expected,
-    )
-    try:
-        pickle.dumps(shipped)
-    except Exception:
-        return None
-    return shipped
-
-
-# ---------------------------------------------------------------------- #
-# Registry
-# ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class Scenario:
-    """A registered scenario: metadata plus the instance factory."""
-
-    name: str
-    kind: str
-    description: str
-    builder: Callable[[dict], ScenarioInstance] = field(repr=False)
-    defaults: dict = field(default_factory=dict)
-
-
-SCENARIOS: dict[str, Scenario] = {}
-
-#: The workload families the registry distinguishes.
-KINDS = ("detection-machine", "broadcast", "absence", "rendezvous", "population")
-
-
-def register_scenario(
-    name: str, kind: str, description: str, defaults: dict
-) -> Callable[[Callable[[dict], ScenarioInstance]], Callable[[dict], ScenarioInstance]]:
-    """Class/function decorator registering a scenario builder."""
-    if kind not in KINDS:
-        raise ValueError(f"unknown scenario kind {kind!r}; expected one of {KINDS}")
-    if name in SCENARIOS:
-        raise ValueError(f"scenario {name!r} already registered")
-
-    def decorator(builder: Callable[[dict], ScenarioInstance]):
-        SCENARIOS[name] = Scenario(
-            name=name, kind=kind, description=description, builder=builder, defaults=defaults
-        )
-        return builder
-
-    return decorator
-
-
-def get_scenario(name: str) -> Scenario:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; registered scenarios: {sorted(SCENARIOS)}"
-        ) from None
-
-
-def list_scenarios() -> list[Scenario]:
-    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
-
-
-def build_instance(name: str, params: Mapping[str, object] | None = None) -> ScenarioInstance:
-    """Build a concrete instance of a registered scenario.
-
-    ``params`` overrides the scenario's defaults; keys outside the default
-    set are rejected so that specs fail loudly on typos.
-    """
-    scenario = get_scenario(name)
-    merged = dict(scenario.defaults)
-    if params:
-        unknown = set(params) - set(merged)
-        if unknown:
-            raise ValueError(
-                f"scenario {name!r} got unknown parameters {sorted(unknown)}; "
-                f"accepted: {sorted(merged)}"
-            )
-        merged.update(params)
-    return scenario.builder(merged)
-
-
-# ---------------------------------------------------------------------- #
-# Shared parameter helpers
-# ---------------------------------------------------------------------- #
-GRAPH_FAMILIES = ("cycle", "line", "clique", "star", "implicit-clique", "random")
-
-
-def _label_count(params: Mapping) -> LabelCount:
-    a, b = int(params["a"]), int(params["b"])
-    if a < 0 or b < 0:
-        raise ValueError("label counts must be non-negative")
-    if a + b < 3:
-        raise ValueError("scenarios follow the paper convention of >= 3 nodes")
-    return LabelCount.from_mapping(AB, {"a": a, "b": b})
-
-
-def _graph(params: Mapping, count: LabelCount):
-    family = params.get("graph", "cycle")
-    if family == "cycle":
-        return cycle_from_count(count)
-    if family == "line":
-        return line_from_count(count)
-    if family == "clique":
-        return clique_from_count(count)
-    if family == "star":
-        return star_from_count(count)
-    if family == "implicit-clique":
-        return clique_from_count(count, implicit=True)
-    if family == "random":
-        return random_connected_graph(
-            AB,
-            count.to_label_sequence(),
-            max_degree=int(params.get("max_degree", 3)),
-            seed=int(params.get("graph_seed", 0)),
-        )
-    raise ValueError(f"unknown graph family {family!r}; expected one of {GRAPH_FAMILIES}")
-
-
-# ---------------------------------------------------------------------- #
-# Detection machines
-# ---------------------------------------------------------------------- #
-@register_scenario(
-    "exists-label",
-    kind="detection-machine",
-    description="Flooding dAF detector for ∃a on a chosen graph family",
-    defaults={"a": 1, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
-)
-def _exists_label(params: dict) -> ScenarioInstance:
-    from repro.constructions import exists_label_machine
-
-    count = _label_count(params)
-    machine = exists_label_machine(AB, "a")
-    return MachineInstance(machine, _graph(params, count), expected=count["a"] >= 1)
-
-
-def local_majority_machine(alphabet: Alphabet, n: int) -> DistributedMachine:
-    """Adopt the majority state among the neighbours (clique majority).
-
-    On a clique every node sees the global counts minus itself, so with a
-    margin ≥ 2 the initial majority is invariant and the run stabilises once
-    every minority node has moved.  ``beta = n`` makes the counting
-    effectively uncapped, as the comparison needs true counts.
-    """
-
-    def delta(state: State, neighborhood: Neighborhood) -> State:
-        a = neighborhood.count("a")
-        b = neighborhood.count("b")
-        if a > b:
-            return "a"
-        if b > a:
-            return "b"
-        return state
-
-    return DistributedMachine(
-        alphabet=alphabet,
-        beta=n,
-        init=lambda label: label,
-        delta=delta,
-        accepting={"a"},
-        rejecting={"b"},
-        name=f"clique-majority(n={n})",
-    )
-
-
-@register_scenario(
-    "clique-majority",
-    kind="detection-machine",
-    description="Local-majority counting machine on an implicit clique "
-    "(the count-backend substrate; scales to 10^4-10^6 agents)",
-    defaults={"a": 6, "b": 3},
-)
-def _clique_majority(params: dict) -> ScenarioInstance:
-    count = _label_count(params)
-    n = count.total()
-    machine = local_majority_machine(AB, n)
-    graph = clique_from_count(count, implicit=True)
-    a, b = count["a"], count["b"]
-    # With margin >= 2 the initial majority is invariant; closer races can
-    # flip, so the scenario declares no ground truth for them.
-    expected = (a > b) if abs(a - b) >= 2 else None
-    return MachineInstance(machine, graph, expected=expected)
-
-
-# ---------------------------------------------------------------------- #
-# Broadcast / absence / rendez-vous compilations
-# ---------------------------------------------------------------------- #
-@register_scenario(
-    "threshold-broadcast",
-    kind="broadcast",
-    description="Lemma C.5 weak-broadcast protocol for x_a ≥ k, compiled to a "
-    "plain dAF machine via the Lemma 4.7 three-phase construction",
-    defaults={"a": 2, "b": 2, "k": 2, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
-)
-def _threshold_broadcast(params: dict) -> ScenarioInstance:
-    from repro.constructions import threshold_daf_machine
-
-    count = _label_count(params)
-    k = int(params["k"])
-    machine = threshold_daf_machine(AB, "a", k)
-    return MachineInstance(machine, _graph(params, count), expected=count["a"] >= k)
-
-
-def _support_probe_machine():
-    """A DA$-machine in which probe agents ask "does any 'b' exist?"."""
-    from repro.extensions import AbsenceDetectionMachine
-
-    def init(label):
-        return ("probe", None) if label == "a" else ("mark", label)
-
-    def delta(state, neighborhood):
-        return state
-
-    def initiating(state):
-        return isinstance(state, tuple) and state[0] == "probe"
-
-    def detect(state, support):
-        has_b = any(s == ("mark", "b") for s in support)
-        return ("verdict", not has_b)
-
-    def accepting(state):
-        return state == ("verdict", True)
-
-    def rejecting(state):
-        return state == ("verdict", False) or (
-            isinstance(state, tuple) and state[0] == "mark"
-        )
-
-    return AbsenceDetectionMachine(
-        alphabet=AB,
-        beta=2,
-        init=init,
-        delta=delta,
-        initiating=initiating,
-        detect=detect,
-        accepting=accepting,
-        rejecting=rejecting,
-        name="support-probe",
-    )
-
-
-@register_scenario(
-    "absence-probe",
-    kind="absence",
-    description="DA$ support probe ('no b exists') compiled for bounded degree "
-    "via the Lemma 4.9 distance-labelled three-phase protocol",
-    defaults={"a": 1, "b": 2, "graph": "cycle"},
-)
-def _absence_probe(params: dict) -> ScenarioInstance:
-    from repro.extensions import compile_absence_detection
-
-    count = _label_count(params)
-    if count["a"] < 1:
-        raise ValueError("absence-probe needs at least one probe agent (a >= 1)")
-    family = params.get("graph", "cycle")
-    if family not in ("cycle", "line"):
-        raise ValueError("absence-probe runs on degree-2 families: cycle or line")
-    machine = compile_absence_detection(_support_probe_machine(), degree_bound=2)
-    return MachineInstance(machine, _graph(params, count), expected=count["b"] == 0)
-
-
-@register_scenario(
-    "rendezvous-parity",
-    kind="rendezvous",
-    description="Pair-interaction parity protocol compiled into a β=2 counting "
-    "machine via the Figure 4 five-status handshake (Lemma 4.10)",
-    defaults={"a": 3, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
-)
-def _rendezvous_parity(params: dict) -> ScenarioInstance:
-    from repro.extensions import compile_rendezvous, parity_protocol
-
-    count = _label_count(params)
-    machine = compile_rendezvous(parity_protocol(AB, "a"))
-    return MachineInstance(machine, _graph(params, count), expected=count["a"] % 2 == 1)
-
-
-@register_scenario(
-    "rendezvous-majority",
-    kind="rendezvous",
-    description="Majority-with-movement graph population protocol under the "
-    "Figure 4 handshake compilation (strict: ties reject)",
-    # A comfortable margin: close races (e.g. 3 vs 2) are legitimate inputs
-    # but need ~10^5 handshake steps on a cycle, too slow for a default.
-    defaults={"a": 4, "b": 1, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
-)
-def _rendezvous_majority(params: dict) -> ScenarioInstance:
-    from repro.extensions import compile_rendezvous, majority_with_movement
-
-    count = _label_count(params)
-    machine = compile_rendezvous(majority_with_movement(AB))
-    return MachineInstance(machine, _graph(params, count), expected=count["a"] > count["b"])
-
-
-# ---------------------------------------------------------------------- #
-# Population protocols
-# ---------------------------------------------------------------------- #
-@register_scenario(
-    "population-majority",
-    kind="population",
-    description="Classical 4-state exact-majority population protocol "
-    "(strict: ties reject) on a clique population",
-    defaults={"a": 6, "b": 3},
-)
-def _population_majority(params: dict) -> ScenarioInstance:
-    from repro.population import four_state_majority
-
-    count = _label_count(params)
-    protocol = four_state_majority(AB)
-    return PopulationInstance(protocol, count, expected=count["a"] > count["b"])
-
-
-@register_scenario(
-    "population-threshold",
-    kind="population",
-    description="Token-accumulation population protocol for x_a ≥ k",
-    defaults={"a": 3, "b": 4, "k": 3},
-)
-def _population_threshold(params: dict) -> ScenarioInstance:
-    from repro.population import threshold_protocol
-
-    count = _label_count(params)
-    k = int(params["k"])
-    protocol = threshold_protocol(AB, "a", k)
-    return PopulationInstance(protocol, count, expected=count["a"] >= k)
-
-
-@register_scenario(
-    "population-parity",
-    kind="population",
-    description="Leader-based parity population protocol (odd number of a's)",
-    defaults={"a": 3, "b": 2},
-)
-def _population_parity(params: dict) -> ScenarioInstance:
-    from repro.population import parity_population_protocol
-
-    count = _label_count(params)
-    protocol = parity_population_protocol(AB, "a")
-    return PopulationInstance(protocol, count, expected=count["a"] % 2 == 1)

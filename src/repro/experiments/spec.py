@@ -160,6 +160,27 @@ class RunTask:
     def from_dict(cls, data: Mapping) -> "RunTask":
         return cls(**dict(data))
 
+    def instance_spec(self):
+        """The :class:`~repro.workloads.spec.InstanceSpec` this task denotes.
+
+        A task is an instance spec plus a seed: scenario, parameters and the
+        per-task engine options map one-to-one onto the declarative workload
+        descriptor (running its full spec validation), which is what the
+        executor's workers build their :class:`~repro.workloads.base.Workload`
+        from.
+        """
+        from repro.workloads.spec import EngineOptions, InstanceSpec
+
+        return InstanceSpec(
+            scenario=self.scenario,
+            params=dict(self.params),
+            engine=EngineOptions(
+                max_steps=self.max_steps,
+                stability_window=self.stability_window,
+                backend=self.backend,
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:

@@ -19,7 +19,7 @@ import random
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 
-from repro.core.batch import BatchResult, collect_batch, derive_seed
+from repro.core.batch import BatchResult
 from repro.core.configuration import consensus_of_counts
 from repro.core.labels import Alphabet, Label, LabelCount
 from repro.core.scheduler import geometric_silent_steps, weighted_index
@@ -296,32 +296,24 @@ class PopulationProtocol:
     ) -> BatchResult:
         """A batch of independent Monte-Carlo runs with derived per-run seeds.
 
-        The population-protocol counterpart of
-        ``SimulationEngine.run_many``: seeds come from
-        :func:`repro.core.batch.derive_seed`, ``quorum`` enables early
+        Thin shim over the unified batch loop
+        (:meth:`repro.workloads.base.Workload.run_many`, via
+        :class:`~repro.workloads.population.PopulationWorkload`): seeds come
+        from :func:`repro.core.batch.derive_seed`, ``quorum`` enables early
         stopping once that fraction of the planned runs agrees on a decided
         verdict, and the result aggregates the verdict distribution and step
         percentiles.
         """
-        if runs < 1:
-            raise ValueError("a batch needs at least one run")
+        from repro.workloads.population import PopulationWorkload
+        from repro.workloads.spec import EngineOptions
 
-        def outcomes():
-            for index in range(runs):
-                verdict, steps = self.simulate(
-                    count,
-                    max_steps=max_steps,
-                    seed=derive_seed(base_seed, index),
-                    method=method,
-                )
-                yield verdict, steps, None
-
-        return collect_batch(
-            outcomes(),
-            runs=runs,
-            base_seed=base_seed,
-            quorum=quorum,
-            min_runs=min_runs,
+        workload = PopulationWorkload(
+            protocol=self,
+            count=count,
+            options=EngineOptions(max_steps=max_steps, backend=method),
+        )
+        return workload.run_many(
+            runs=runs, base_seed=base_seed, quorum=quorum, min_runs=min_runs
         )
 
 

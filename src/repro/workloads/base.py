@@ -1,0 +1,148 @@
+"""The unified run surface: one ``Workload`` protocol for every model.
+
+The repo grew four divergent entry points for "run this instance and tell me
+the verdict" — ``DistributedMachine.simulate``, ``SimulationEngine.run_machine``
+/ ``run_many``, ``PopulationProtocol.simulate`` / ``run_many``, and the
+scenario-instance trio of the experiments layer.  :class:`Workload` collapses
+them: every workload kind (distributed machines, compiled machines, the
+broadcast/absence/rendez-vous compilations — which are machines once
+compiled — and population protocols) implements
+
+* ``run(seed) -> RunResult`` — one Monte-Carlo run under the spec'd schedule;
+* ``run_many(runs, base_seed, ...) -> BatchResult`` — implemented **once**,
+  here, for every kind: per-run seeds via
+  :func:`~repro.core.batch.derive_seed`, quorum early stopping, and the
+  deterministic-replication shortcut for synchronous schedules.  The legacy
+  batch loops (engine, population, compiled-instance) now delegate to this
+  single implementation.
+
+:func:`build_workload` turns a declarative
+:class:`~repro.workloads.spec.InstanceSpec` into the matching workload, and
+:meth:`Workload.shippable` answers "can this cross a process boundary
+pre-built?" uniformly — the executor's former rebuild-vs-ship fork is gone.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+from repro.core.batch import BatchResult, collect_batch, derive_seed, quorum_target
+from repro.core.results import RunResult
+from repro.workloads.registry import get_scenario
+from repro.workloads.spec import EngineOptions, InstanceSpec
+
+
+class Workload:
+    """One runnable instance: ``run`` a seed, ``run_many`` a batch.
+
+    Subclasses set ``options`` (an :class:`~repro.workloads.spec.EngineOptions`),
+    ``expected`` (the scenario's declared ground truth, if any) and ``spec``
+    (the declarative recipe this workload was built from, when there is one),
+    and implement :meth:`run` and :meth:`deterministic`.
+    """
+
+    options: EngineOptions
+    expected: bool | None = None
+    spec: InstanceSpec | None = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, seed: int) -> RunResult:
+        """One Monte-Carlo run with the given seed."""
+        raise NotImplementedError
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether every seed yields the same run (e.g. synchronous schedules)."""
+        return False
+
+    # ------------------------------------------------------------------ #
+    def run_many(
+        self,
+        runs: int,
+        base_seed: int = 0,
+        quorum: float | None = None,
+        min_runs: int = 1,
+        keep_results: bool = False,
+    ) -> BatchResult:
+        """A batch of independent Monte-Carlo runs — the one batch loop.
+
+        Run ``i`` uses ``derive_seed(base_seed, i)``, so any single run is
+        reproducible in isolation and independent of the batch size.
+        ``quorum`` enables early stopping once that fraction of the planned
+        runs agrees on a decided verdict.  A :meth:`deterministic` workload
+        has a *unique* run: it is simulated once and replicated, and
+        ``quorum`` is ignored on that path (no compute can be saved, and
+        truncating the replicated batch would misreport it as stopped early)
+        — though the argument is still validated so a bad quorum fails
+        identically everywhere.
+        """
+        if runs < 1:
+            raise ValueError("a batch needs at least one run")
+        if self.deterministic:
+            quorum_target(runs, quorum)
+            quorum = None
+            result = self.run(derive_seed(base_seed, 0))
+
+            def outcomes():
+                for _ in range(runs):
+                    yield result.verdict, result.steps, result
+
+        else:
+
+            def outcomes():
+                for index in range(runs):
+                    result = self.run(derive_seed(base_seed, index))
+                    yield result.verdict, result.steps, result
+
+        return collect_batch(
+            outcomes(),
+            runs=runs,
+            base_seed=base_seed,
+            quorum=quorum,
+            min_runs=min_runs,
+            keep_results=keep_results,
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_options(self, **overrides) -> "Workload":
+        """A shallow copy with some engine options replaced.
+
+        The heavy parts (machine, graph, compiled tables, protocol) are
+        shared — this is how the executor reuses one cached workload across
+        tasks whose step bounds differ.
+        """
+        clone = replace(self, options=replace(self.options, **overrides))
+        return clone
+
+    def shippable(self) -> "Workload | None":
+        """A picklable form of this workload, or ``None``.
+
+        The default answers by construction: the workload itself if it
+        pickles (compiled machines, plain-data workloads), ``None`` when it
+        holds closures.  Subclasses may return a pre-compiled stand-in
+        instead (see :meth:`~repro.workloads.machine.MachineWorkload.shippable`).
+        """
+        try:
+            pickle.dumps(self)
+        except Exception:  # noqa: BLE001 - any pickling failure means "rebuild"
+            return None
+        return self
+
+
+def build_workload(spec: InstanceSpec | str, params=None, **engine) -> Workload:
+    """The runnable workload of a spec — the one construction entry point.
+
+    Accepts either a ready :class:`~repro.workloads.spec.InstanceSpec` or the
+    convenience form ``build_workload("exists-label", {"a": 1}, max_steps=...)``
+    which assembles the spec first (running full spec validation either way).
+    """
+    if not isinstance(spec, InstanceSpec):
+        spec = InstanceSpec(
+            scenario=spec, params=dict(params or {}), engine=EngineOptions(**engine)
+        )
+    scenario = get_scenario(spec.scenario)
+    workload = scenario.builder(dict(spec.params))
+    workload.options = spec.engine
+    workload.spec = spec
+    return workload

@@ -1,0 +1,302 @@
+"""The built-in scenario catalog: nine scenarios over five workload kinds.
+
+Importing this module registers every scenario with
+:mod:`repro.workloads.registry` (the package ``__init__`` imports it, so the
+registry is always populated once :mod:`repro.workloads` is imported).  Each
+builder maps a *full* parameter assignment (see
+:func:`~repro.workloads.registry.validated_params`) to a runnable
+:class:`~repro.workloads.base.Workload`; engine options are attached by
+:func:`~repro.workloads.base.build_workload`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.graphs import (
+    clique_from_count,
+    cycle_from_count,
+    line_from_count,
+    random_connected_graph,
+    star_from_count,
+)
+from repro.core.labels import Alphabet, LabelCount
+from repro.core.machine import DistributedMachine, Neighborhood, State
+from repro.workloads.machine import MachineWorkload
+from repro.workloads.population import PopulationWorkload
+from repro.workloads.registry import register_scenario
+
+#: The alphabet every registered scenario runs over.
+AB = Alphabet.of("a", "b")
+
+
+# ---------------------------------------------------------------------- #
+# Shared parameter helpers
+# ---------------------------------------------------------------------- #
+GRAPH_FAMILIES = ("cycle", "line", "clique", "star", "implicit-clique", "random")
+
+
+def _label_count(params: Mapping) -> LabelCount:
+    a, b = int(params["a"]), int(params["b"])
+    if a < 0 or b < 0:
+        raise ValueError("label counts must be non-negative")
+    if a + b < 3:
+        raise ValueError("scenarios follow the paper convention of >= 3 nodes")
+    return LabelCount.from_mapping(AB, {"a": a, "b": b})
+
+
+def _graph(params: Mapping, count: LabelCount):
+    family = params.get("graph", "cycle")
+    if family == "cycle":
+        return cycle_from_count(count)
+    if family == "line":
+        return line_from_count(count)
+    if family == "clique":
+        return clique_from_count(count)
+    if family == "star":
+        return star_from_count(count)
+    if family == "implicit-clique":
+        return clique_from_count(count, implicit=True)
+    if family == "random":
+        return random_connected_graph(
+            AB,
+            count.to_label_sequence(),
+            max_degree=int(params.get("max_degree", 3)),
+            seed=int(params.get("graph_seed", 0)),
+        )
+    raise ValueError(f"unknown graph family {family!r}; expected one of {GRAPH_FAMILIES}")
+
+
+# ---------------------------------------------------------------------- #
+# Detection machines
+# ---------------------------------------------------------------------- #
+@register_scenario(
+    "exists-label",
+    kind="detection-machine",
+    description="Flooding dAF detector for ∃a on a chosen graph family",
+    defaults={"a": 1, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+)
+def _exists_label(params: dict) -> MachineWorkload:
+    from repro.constructions import exists_label_machine
+
+    count = _label_count(params)
+    machine = exists_label_machine(AB, "a")
+    return MachineWorkload(
+        machine=machine, graph=_graph(params, count), expected=count["a"] >= 1
+    )
+
+
+def local_majority_machine(alphabet: Alphabet, n: int) -> DistributedMachine:
+    """Adopt the majority state among the neighbours (clique majority).
+
+    On a clique every node sees the global counts minus itself, so with a
+    margin ≥ 2 the initial majority is invariant and the run stabilises once
+    every minority node has moved.  ``beta = n`` makes the counting
+    effectively uncapped, as the comparison needs true counts.
+    """
+
+    def delta(state: State, neighborhood: Neighborhood) -> State:
+        a = neighborhood.count("a")
+        b = neighborhood.count("b")
+        if a > b:
+            return "a"
+        if b > a:
+            return "b"
+        return state
+
+    return DistributedMachine(
+        alphabet=alphabet,
+        beta=n,
+        init=lambda label: label,
+        delta=delta,
+        accepting={"a"},
+        rejecting={"b"},
+        name=f"clique-majority(n={n})",
+    )
+
+
+@register_scenario(
+    "clique-majority",
+    kind="detection-machine",
+    description="Local-majority counting machine on an implicit clique "
+    "(the count-backend substrate; scales to 10^4-10^6 agents)",
+    defaults={"a": 6, "b": 3},
+)
+def _clique_majority(params: dict) -> MachineWorkload:
+    count = _label_count(params)
+    n = count.total()
+    machine = local_majority_machine(AB, n)
+    graph = clique_from_count(count, implicit=True)
+    a, b = count["a"], count["b"]
+    # With margin >= 2 the initial majority is invariant; closer races can
+    # flip, so the scenario declares no ground truth for them.
+    expected = (a > b) if abs(a - b) >= 2 else None
+    return MachineWorkload(machine=machine, graph=graph, expected=expected)
+
+
+# ---------------------------------------------------------------------- #
+# Broadcast / absence / rendez-vous compilations
+# ---------------------------------------------------------------------- #
+@register_scenario(
+    "threshold-broadcast",
+    kind="broadcast",
+    description="Lemma C.5 weak-broadcast protocol for x_a ≥ k, compiled to a "
+    "plain dAF machine via the Lemma 4.7 three-phase construction",
+    defaults={"a": 2, "b": 2, "k": 2, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+)
+def _threshold_broadcast(params: dict) -> MachineWorkload:
+    from repro.constructions import threshold_daf_machine
+
+    count = _label_count(params)
+    k = int(params["k"])
+    machine = threshold_daf_machine(AB, "a", k)
+    return MachineWorkload(
+        machine=machine, graph=_graph(params, count), expected=count["a"] >= k
+    )
+
+
+def _support_probe_machine():
+    """A DA$-machine in which probe agents ask "does any 'b' exist?"."""
+    from repro.extensions import AbsenceDetectionMachine
+
+    def init(label):
+        return ("probe", None) if label == "a" else ("mark", label)
+
+    def delta(state, neighborhood):
+        return state
+
+    def initiating(state):
+        return isinstance(state, tuple) and state[0] == "probe"
+
+    def detect(state, support):
+        has_b = any(s == ("mark", "b") for s in support)
+        return ("verdict", not has_b)
+
+    def accepting(state):
+        return state == ("verdict", True)
+
+    def rejecting(state):
+        return state == ("verdict", False) or (
+            isinstance(state, tuple) and state[0] == "mark"
+        )
+
+    return AbsenceDetectionMachine(
+        alphabet=AB,
+        beta=2,
+        init=init,
+        delta=delta,
+        initiating=initiating,
+        detect=detect,
+        accepting=accepting,
+        rejecting=rejecting,
+        name="support-probe",
+    )
+
+
+@register_scenario(
+    "absence-probe",
+    kind="absence",
+    description="DA$ support probe ('no b exists') compiled for bounded degree "
+    "via the Lemma 4.9 distance-labelled three-phase protocol",
+    defaults={"a": 1, "b": 2, "graph": "cycle"},
+)
+def _absence_probe(params: dict) -> MachineWorkload:
+    from repro.extensions import compile_absence_detection
+
+    count = _label_count(params)
+    if count["a"] < 1:
+        raise ValueError("absence-probe needs at least one probe agent (a >= 1)")
+    family = params.get("graph", "cycle")
+    if family not in ("cycle", "line"):
+        raise ValueError("absence-probe runs on degree-2 families: cycle or line")
+    machine = compile_absence_detection(_support_probe_machine(), degree_bound=2)
+    return MachineWorkload(
+        machine=machine, graph=_graph(params, count), expected=count["b"] == 0
+    )
+
+
+@register_scenario(
+    "rendezvous-parity",
+    kind="rendezvous",
+    description="Pair-interaction parity protocol compiled into a β=2 counting "
+    "machine via the Figure 4 five-status handshake (Lemma 4.10)",
+    defaults={"a": 3, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+)
+def _rendezvous_parity(params: dict) -> MachineWorkload:
+    from repro.extensions import compile_rendezvous, parity_protocol
+
+    count = _label_count(params)
+    machine = compile_rendezvous(parity_protocol(AB, "a"))
+    return MachineWorkload(
+        machine=machine, graph=_graph(params, count), expected=count["a"] % 2 == 1
+    )
+
+
+@register_scenario(
+    "rendezvous-majority",
+    kind="rendezvous",
+    description="Majority-with-movement graph population protocol under the "
+    "Figure 4 handshake compilation (strict: ties reject)",
+    # A comfortable margin: close races (e.g. 3 vs 2) are legitimate inputs
+    # but need ~10^5 handshake steps on a cycle, too slow for a default.
+    defaults={"a": 4, "b": 1, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+)
+def _rendezvous_majority(params: dict) -> MachineWorkload:
+    from repro.extensions import compile_rendezvous, majority_with_movement
+
+    count = _label_count(params)
+    machine = compile_rendezvous(majority_with_movement(AB))
+    return MachineWorkload(
+        machine=machine, graph=_graph(params, count), expected=count["a"] > count["b"]
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Population protocols
+# ---------------------------------------------------------------------- #
+@register_scenario(
+    "population-majority",
+    kind="population",
+    description="Classical 4-state exact-majority population protocol "
+    "(strict: ties reject) on a clique population",
+    defaults={"a": 6, "b": 3},
+)
+def _population_majority(params: dict) -> PopulationWorkload:
+    from repro.population import four_state_majority
+
+    count = _label_count(params)
+    protocol = four_state_majority(AB)
+    return PopulationWorkload(
+        protocol=protocol, count=count, expected=count["a"] > count["b"]
+    )
+
+
+@register_scenario(
+    "population-threshold",
+    kind="population",
+    description="Token-accumulation population protocol for x_a ≥ k",
+    defaults={"a": 3, "b": 4, "k": 3},
+)
+def _population_threshold(params: dict) -> PopulationWorkload:
+    from repro.population import threshold_protocol
+
+    count = _label_count(params)
+    k = int(params["k"])
+    protocol = threshold_protocol(AB, "a", k)
+    return PopulationWorkload(protocol=protocol, count=count, expected=count["a"] >= k)
+
+
+@register_scenario(
+    "population-parity",
+    kind="population",
+    description="Leader-based parity population protocol (odd number of a's)",
+    defaults={"a": 3, "b": 2},
+)
+def _population_parity(params: dict) -> PopulationWorkload:
+    from repro.population import parity_population_protocol
+
+    count = _label_count(params)
+    protocol = parity_population_protocol(AB, "a")
+    return PopulationWorkload(
+        protocol=protocol, count=count, expected=count["a"] % 2 == 1
+    )

@@ -1,0 +1,35 @@
+"""Deprecation plumbing for the legacy run surfaces.
+
+The legacy entry points the unified :class:`~repro.workloads.base.Workload`
+surface replaces (the scenario-instance trio of
+:mod:`repro.experiments.scenarios`) keep working as thin delegating shims,
+but each one announces its replacement with a :class:`DeprecationWarning` —
+**exactly once per process per shim**, so sweeps over thousands of tasks are
+not drowned in repeats while the first use is still flagged even under
+``-W always`` / pytest warning capture (the stdlib per-call-site registry
+would re-emit under those).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_emitted: set[str] = set()
+
+
+def warn_once(shim: str, replacement: str) -> None:
+    """Emit the deprecation warning for ``shim`` on its first use only."""
+    if shim in _emitted:
+        return
+    _emitted.add(shim)
+    warnings.warn(
+        f"{shim} is deprecated; use {replacement} (see the README 'Public API' "
+        f"migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (test support)."""
+    _emitted.clear()

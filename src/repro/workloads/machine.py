@@ -1,0 +1,203 @@
+"""Machine-backed workloads: live machines and pre-compiled shippable forms.
+
+:class:`MachineWorkload` wraps a :class:`~repro.core.machine.DistributedMachine`
+on a concrete graph — this covers the detection machines *and* every
+extension pipeline (the broadcast / absence / rendez-vous compilations all
+produce plain machines).  :class:`CompiledMachineWorkload` is its picklable
+stand-in: a :class:`~repro.core.compile.CompiledMachine` (plain data plus a
+registry-backed loader) and the graph, which the sweep executor ships to
+worker processes so they never rebuild the instance.
+
+``run_with_schedule`` here is *the* machine run surface: backend resolution
+plus dispatch, shared by :meth:`MachineWorkload.run`,
+:meth:`~repro.core.simulation.SimulationEngine.run_machine` and (through the
+engine) ``DistributedMachine.simulate`` — all of those are now thin shims
+over this one code path.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pickle
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.backends import (
+    CompiledPerNodeBackend,
+    SimulationBackend,
+    resolve_backend,
+)
+from repro.core.compile import CompiledMachine, compile_machine, run_compiled
+from repro.core.machine import DistributedMachine
+from repro.core.results import RunResult
+from repro.core.scheduler import (
+    RandomExclusiveSchedule,
+    ScheduleGenerator,
+    SynchronousSchedule,
+)
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_scenario, validated_params
+from repro.workloads.spec import EngineOptions, InstanceSpec
+
+
+def make_schedule(kind: str, seed: int | None) -> ScheduleGenerator:
+    """The schedule generator a declarative spec names."""
+    if kind == "random-exclusive":
+        return RandomExclusiveSchedule(seed=seed)
+    if kind == "synchronous":
+        return SynchronousSchedule()
+    raise ValueError(f"unknown schedule kind {kind!r}")
+
+
+def _scenario_machine(name: str, params_json: str) -> DistributedMachine:
+    """Rebuild just the machine of a registry scenario.
+
+    Module-level with plain-string arguments so a ``functools.partial`` over
+    it pickles by reference; an unpickled
+    :class:`~repro.core.compile.CompiledMachine` calls it (at most once per
+    worker process) to re-bind δ on its first unmemoised view.  Goes through
+    the registry builder directly — not through spec validation, which the
+    shipping side already ran.
+    """
+    params = validated_params(name, json.loads(params_json))
+    workload = get_scenario(name).builder(params)
+    return workload.machine
+
+
+@dataclass
+class MachineWorkload(Workload):
+    """A distributed machine on a concrete graph.
+
+    ``schedule_factory`` is the non-declarative escape hatch used by
+    ``SimulationEngine.run_many``: a callable mapping a derived seed to a
+    schedule generator.  Declarative (spec-built) workloads leave it unset
+    and take their schedule kind from the engine options.
+    ``backend_override`` likewise carries a live
+    :class:`~repro.core.backends.SimulationBackend` instance when one was
+    passed programmatically; it wins over the declarative backend name.
+    """
+
+    machine: DistributedMachine
+    graph: object  # LabeledGraph | ImplicitCliqueGraph (same read interface)
+    options: EngineOptions = field(default_factory=EngineOptions)
+    expected: bool | None = None
+    spec: InstanceSpec | None = None
+    schedule_factory: Callable[[int], ScheduleGenerator] | None = field(
+        default=None, repr=False
+    )
+    backend_override: SimulationBackend | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def run(self, seed: int) -> RunResult:
+        if self.schedule_factory is not None:
+            schedule = self.schedule_factory(seed)
+        else:
+            schedule = make_schedule(self.options.schedule, seed)
+        return self.run_with_schedule(schedule)
+
+    def run_with_schedule(
+        self, schedule: ScheduleGenerator, start=None
+    ) -> RunResult:
+        """Resolve a backend and execute — the single machine run path."""
+        options = self.options
+        if options.memo_cap is not None:
+            # Attach the cap before the backend compiles (compilations are
+            # cached on the machine, so this configures the shared table).
+            compile_machine(self.machine, memo_cap=options.memo_cap)
+        backend_spec = (
+            self.backend_override if self.backend_override is not None else options.backend
+        )
+        backend = resolve_backend(
+            backend_spec, self.machine, self.graph, schedule, options.record_trace
+        )
+        return backend.run(
+            self.machine,
+            self.graph,
+            schedule,
+            max_steps=options.max_steps,
+            stability_window=options.stability_window,
+            record_trace=options.record_trace,
+            start=start,
+        )
+
+    @property
+    def deterministic(self) -> bool:
+        return self.schedule_factory is None and self.options.schedule == "synchronous"
+
+    # ------------------------------------------------------------------ #
+    def shippable(self) -> "Workload | None":
+        """A pre-compiled picklable stand-in, or ``None``.
+
+        Only declarative workloads whose ``"auto"`` backend resolves to the
+        compiled per-node engine ship: population-style clique instances are
+        served by the (faster) count backend, explicit backend choices must
+        keep resolving inside the worker, and a workload without a spec has
+        no registry recipe for the δ re-binding loader.  When a stand-in *is*
+        returned, running it is bit-identical to running this workload —
+        same engine, same random stream.
+        """
+        if self.spec is None:
+            return None
+        return self.ship_as(self.spec.scenario, self.spec.params)
+
+    def ship_as(self, scenario: str, params) -> "CompiledMachineWorkload | None":
+        """The shippable form under an explicit registry identity."""
+        options = self.options
+        if (
+            options.backend != "auto"
+            or options.record_trace
+            or options.schedule != "random-exclusive"
+            or self.schedule_factory is not None
+            or self.backend_override is not None
+        ):
+            return None
+        probe = RandomExclusiveSchedule(seed=0)
+        backend = resolve_backend("auto", self.machine, self.graph, probe)
+        if not isinstance(backend, CompiledPerNodeBackend):
+            return None
+        loader = functools.partial(
+            _scenario_machine, scenario, json.dumps(dict(params), sort_keys=True)
+        )
+        shipped = CompiledMachineWorkload(
+            compiled=compile_machine(
+                self.machine, loader=loader, memo_cap=options.memo_cap
+            ),
+            graph=self.graph,
+            options=options,
+            expected=self.expected,
+            spec=self.spec,
+        )
+        try:
+            pickle.dumps(shipped)
+        except Exception:  # noqa: BLE001 - unpicklable graph/states: rebuild instead
+            return None
+        return shipped
+
+
+@dataclass
+class CompiledMachineWorkload(Workload):
+    """A machine workload pre-compiled for shipping across process boundaries.
+
+    Carries a :class:`~repro.core.compile.CompiledMachine` — plain data plus
+    a registry-backed loader — instead of a live machine, so the whole
+    workload pickles.  Runs execute directly on the compiled per-node engine,
+    which is bit-identical to what ``backend="auto"`` resolves to for the
+    instances :meth:`MachineWorkload.ship_as` produces; the declarative
+    ``backend`` option is therefore intentionally not re-consulted here.
+    """
+
+    compiled: CompiledMachine
+    graph: object  # LabeledGraph (same read interface as MachineWorkload)
+    options: EngineOptions = field(default_factory=EngineOptions)
+    expected: bool | None = None
+    spec: InstanceSpec | None = None
+
+    def run(self, seed: int) -> RunResult:
+        return run_compiled(
+            self.compiled,
+            self.graph,
+            RandomExclusiveSchedule(seed=seed),
+            max_steps=self.options.max_steps,
+            stability_window=self.options.stability_window,
+        )

@@ -1,0 +1,235 @@
+"""Declarative instance descriptors: one picklable recipe per workload.
+
+An :class:`InstanceSpec` is the single serialisable description of one
+concrete workload instance — which scenario, with which full parameter
+assignment, under which engine options.  It is plain data: dict/JSON
+round-trippable (like :class:`~repro.experiments.spec.ExperimentSpec`) and
+picklable by construction, so *every* workload kind can cross a process
+boundary as a spec regardless of whether its machine or protocol closes over
+lambdas.  :func:`repro.workloads.base.build_workload` turns a spec into a
+runnable :class:`~repro.workloads.base.Workload`.
+
+Validation happens at spec level, not inside per-kind run paths:
+
+* parameter keys are merged against the scenario defaults and unknown keys
+  are rejected (:func:`~repro.workloads.registry.validated_params`);
+* **rendez-vous handshake points with a stabilisation window below 2000
+  steps** emit a :class:`SpecValidationWarning` — the Figure 4 handshake has
+  long transient consensus stretches, and a narrow window falsely declares
+  them stabilised on some seeds (the documented footgun that previously had
+  to be patched per sweep with ``stability_window`` overrides);
+* **absence-probe points with several probes while markers are present** are
+  rejected outright: the multi-probe detection waves interfere and the run
+  livelocks past any step budget (see the ``absence-probe`` scenario notes) —
+  a spec that cannot terminate is a spec error, not a timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.workloads.registry import get_scenario, validated_params
+
+_ENGINE_FIELDS = {
+    "max_steps",
+    "stability_window",
+    "backend",
+    "schedule",
+    "record_trace",
+    "memo_cap",
+}
+_SPEC_FIELDS = {"scenario", "params", "engine"}
+
+#: Schedule kinds a declarative spec can name.  Ad-hoc schedule generators
+#: (subclasses, injected rngs) stay available through the non-declarative
+#: ``schedule_factory`` hook of :class:`~repro.workloads.machine.MachineWorkload`.
+SCHEDULES = ("random-exclusive", "synchronous")
+
+#: The handshake compilations need at least this stabilisation window: the
+#: Figure 4 five-status handshake passes through long transient consensus
+#: stretches, and narrower windows falsely stabilise them on some seeds.
+RENDEZVOUS_MIN_WINDOW = 2000
+
+
+class SpecValidationWarning(UserWarning):
+    """A spec is valid but uses settings with a documented failure mode."""
+
+
+def canonical_json(value: object) -> str:
+    """The canonical serialisation used for hashing and grouping keys."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How to run an instance: step bounds, backend, schedule, memo policy.
+
+    ``backend`` names a simulation backend for machine workloads (``"auto"``,
+    ``"per-node"``, ``"compiled"``, ``"count"``) or a population engine for
+    population workloads (``"agents"``, ``"counts"``; machine-backend names
+    map to ``"auto"`` there, mirroring the legacy behaviour of ignoring the
+    backend column).  ``memo_cap`` bounds the number of memoised transition
+    entries a compiled machine may accumulate (``None`` = unbounded); see
+    :class:`~repro.core.compile.CompiledMachine`.
+    """
+
+    max_steps: int = 20_000
+    stability_window: int = 300
+    backend: str = "auto"
+    schedule: str = "random-exclusive"
+    record_trace: bool = False
+    memo_cap: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be at least 1")
+        if self.stability_window < 1:
+            raise ValueError("stability_window must be at least 1")
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; expected one of {SCHEDULES}"
+            )
+        if self.memo_cap is not None and self.memo_cap < 1:
+            raise ValueError("memo_cap must be at least 1 (or None for unbounded)")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_steps": self.max_steps,
+            "stability_window": self.stability_window,
+            "backend": self.backend,
+            "schedule": self.schedule,
+            "record_trace": self.record_trace,
+            "memo_cap": self.memo_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EngineOptions":
+        unknown = set(data) - _ENGINE_FIELDS
+        if unknown:
+            raise ValueError(f"unknown engine option fields {sorted(unknown)}")
+        return cls(
+            max_steps=data.get("max_steps", 20_000),
+            stability_window=data.get("stability_window", 300),
+            backend=data.get("backend", "auto"),
+            schedule=data.get("schedule", "random-exclusive"),
+            record_trace=data.get("record_trace", False),
+            memo_cap=data.get("memo_cap"),
+        )
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One workload instance, declaratively: scenario + params + engine options.
+
+    ``params`` is normalised to the *full* parameter assignment (scenario
+    defaults merged with the given overrides), so a spec is self-describing
+    and two specs describing the same instance compare (and hash) equal.
+    Construction validates: the scenario must be registered, parameter keys
+    must be accepted, and the workload-specific guards of the module
+    docstring apply.
+    """
+
+    scenario: str
+    params: dict = field(default_factory=dict)
+    engine: EngineOptions = field(default_factory=EngineOptions)
+
+    def __post_init__(self) -> None:
+        scenario = get_scenario(self.scenario)
+        merged = validated_params(self.scenario, self.params)
+        object.__setattr__(self, "params", merged)
+        if not isinstance(self.engine, EngineOptions):
+            object.__setattr__(self, "engine", EngineOptions.from_dict(self.engine))
+        self._validate_workload_guards(scenario.kind, merged)
+
+    def __hash__(self) -> int:
+        # The frozen dataclass would auto-derive a field-wise hash, but the
+        # params dict is unhashable; hash the canonical JSON instead so specs
+        # work as set members / dict keys, matching their value equality.
+        return hash((self.scenario, self.params_key(), self.engine))
+
+    def _validate_workload_guards(self, kind: str, params: Mapping) -> None:
+        if kind == "population" and self.engine.schedule != "random-exclusive":
+            raise ValueError(
+                f"population scenario {self.scenario!r} cannot take "
+                f"schedule={self.engine.schedule!r}: population protocols are "
+                f"driven by sequential random pair interactions and have no "
+                f"other schedule semantics"
+            )
+        if kind == "rendezvous" and self.engine.stability_window < RENDEZVOUS_MIN_WINDOW:
+            warnings.warn(
+                f"rendezvous scenario {self.scenario!r} with "
+                f"stability_window={self.engine.stability_window}: the Figure 4 "
+                f"handshake has transient consensus stretches that outlast "
+                f"windows below {RENDEZVOUS_MIN_WINDOW} steps on some seeds, so "
+                f"the run may falsely report stabilisation; widen the window",
+                SpecValidationWarning,
+                stacklevel=3,
+            )
+        if kind == "absence":
+            probes = int(params.get("a", 0))
+            markers = int(params.get("b", 0))
+            if probes >= 2 and markers >= 1:
+                raise ValueError(
+                    f"absence scenario {self.scenario!r} with {probes} probes and "
+                    f"{markers} markers: multiple probes interfere — their "
+                    f"detection waves reset each other and the run livelocks "
+                    f"past any step budget (documented interference behaviour); "
+                    f"use a single probe (a=1) when markers are present"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "engine": self.engine.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "InstanceSpec":
+        unknown = set(data) - _SPEC_FIELDS
+        if unknown:
+            raise ValueError(f"unknown instance spec fields {sorted(unknown)}")
+        if "scenario" not in data:
+            raise ValueError("an instance spec needs a 'scenario' name")
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data.get("params", {})),
+            engine=EngineOptions.from_dict(data.get("engine", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InstanceSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # Identity and construction
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        """The workload family of the underlying scenario."""
+        return get_scenario(self.scenario).kind
+
+    def key(self) -> str:
+        """Content hash of the canonical spec (cache / store identity)."""
+        digest = hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()
+        return digest[:12]
+
+    def params_key(self) -> str:
+        """The canonical JSON of the full parameter assignment."""
+        return canonical_json(self.params)
+
+    def build(self) -> "object":
+        """The runnable :class:`~repro.workloads.base.Workload` of this spec."""
+        from repro.workloads.base import build_workload
+
+        return build_workload(self)

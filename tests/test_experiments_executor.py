@@ -201,33 +201,76 @@ class TestAggregation:
 
 
 class TestCompiledShipping:
-    """The executor ships pre-compiled machine instances to workers; the
-    registry path remains for everything that cannot (or should not) ship."""
+    """The executor ships every task as an instance spec; eligible machine
+    workloads additionally ship a pre-compiled picklable stand-in."""
+
+    _counter = 0
+
+    @classmethod
+    def task(cls, scenario, params, backend="auto"):
+        cls._counter += 1
+        return {
+            "task_id": f"{scenario}:{cls._counter}:0",
+            "point_index": cls._counter,
+            "scenario": scenario,
+            "params": params,
+            "run_index": 0,
+            "seed": 11,
+            "backend": backend,
+            "max_steps": 2_000,
+            "stability_window": 100,
+        }
 
     def test_prepare_shipped_selects_only_compiled_eligible_auto_tasks(self):
         from repro.experiments.executor import _prepare_shipped
-        from repro.experiments.scenarios import CompiledMachineInstance
-
-        def task(scenario, params, backend="auto"):
-            return {"scenario": scenario, "params": params, "backend": backend}
+        from repro.workloads import CompiledMachineWorkload
 
         shipped = _prepare_shipped(
             [
-                task("exists-label", {"a": 1, "b": 4}),  # cycle -> compiled engine
-                task("exists-label", {"a": 1, "b": 4}),  # duplicate: built once
-                task("clique-majority", {"a": 6, "b": 3}),  # count backend
-                task("population-parity", {"a": 3, "b": 2}),  # own engine
-                task("exists-label", {"a": 0, "b": 4}, backend="per-node"),
-                task("exists-label", {"a": 1, "b": 4, "graph": "bogus"}),  # raises
+                self.task("exists-label", {"a": 1, "b": 4}),  # cycle -> compiled
+                self.task("exists-label", {"a": 1, "b": 4}),  # duplicate: built once
+                self.task("clique-majority", {"a": 6, "b": 3}),  # count backend
+                self.task("population-parity", {"a": 3, "b": 2}),  # own engine
+                self.task("exists-label", {"a": 0, "b": 4}, backend="per-node"),
+                self.task("exists-label", {"a": 1, "b": 4, "graph": "bogus"}),  # raises
             ]
         )
         assert set(shipped) == {
             ("exists-label", '{"a":1,"b":4}'),
         }
         assert all(
-            isinstance(instance, CompiledMachineInstance)
-            for instance in shipped.values()
+            isinstance(workload, CompiledMachineWorkload)
+            for workload in shipped.values()
         )
+
+    def test_every_workload_kind_ships_as_a_spec(self):
+        """The worker-side route is uniform: every kind's task dict round-trips
+        through InstanceSpec -> build_workload inside _run_task, whether or
+        not a pre-compiled stand-in was shipped."""
+        from repro.experiments.executor import _run_chunk
+
+        tasks = []
+        for index, (scenario, params) in enumerate(
+            [
+                ("exists-label", {"a": 1, "b": 4}),  # detection-machine
+                ("threshold-broadcast", {"a": 2, "b": 2, "k": 2}),  # broadcast
+                ("absence-probe", {"a": 1, "b": 2}),  # absence
+                ("rendezvous-parity", {"a": 3, "b": 4}),  # rendezvous
+                ("population-parity", {"a": 3, "b": 2}),  # population
+            ]
+        ):
+            task = self.task(scenario, params)
+            task.update(
+                task_id=f"{scenario}:{index}:0",
+                point_index=index,
+                run_index=0,
+                seed=11,
+                max_steps=20_000,
+                stability_window=2_000,
+            )
+            tasks.append(task)
+        records = _run_chunk(tasks, task_timeout=None, shipped=None)
+        assert [r["status"] for r in records] == ["ok"] * len(tasks)
 
     def test_shipped_instance_agrees_with_registry_instance(self):
         from repro.experiments.scenarios import build_instance, shippable_instance
@@ -258,7 +301,8 @@ class TestCompiledShipping:
     def test_serial_and_parallel_records_byte_identical_with_shipping(self, tmp_path):
         """Beyond verdict/steps equality: the stored record dicts must be
         identical field for field (wall_time aside) across worker counts,
-        for a spec that mixes shipped and registry-path scenarios."""
+        for a spec covering every workload kind — shipped compiled machines,
+        count-backend cliques and spec-rebuilt populations alike."""
         spec = ExperimentSpec.from_dict(
             {
                 "name": "shipping-regression",
@@ -268,6 +312,13 @@ class TestCompiledShipping:
                         "grid": {"a": [0, 1], "b": [4], "graph": ["cycle", "star"]},
                     },
                     {"scenario": "clique-majority", "grid": {"a": [6], "b": [3]}},
+                    {"scenario": "threshold-broadcast", "grid": {"a": [2], "b": [2], "k": [2]}},
+                    {"scenario": "absence-probe", "grid": {"a": [1], "b": [2]}},
+                    {
+                        "scenario": "rendezvous-parity",
+                        "grid": {"a": [3], "b": [3]},
+                        "stability_window": 2000,
+                    },
                     {"scenario": "population-parity", "grid": {"a": [3], "b": [2]}},
                 ],
                 "runs": 2,

@@ -280,14 +280,16 @@ class TestReviewRegressions:
         g = cycle_graph(ab, ["a", "b", "b", "b"])
         engine = SimulationEngine(max_steps=200, stability_window=10)
         calls = 0
-        original = SimulationEngine.run_machine
+        from repro.workloads.machine import MachineWorkload
+
+        original = MachineWorkload.run
 
         def counting(self, *args, **kwargs):
             nonlocal calls
             calls += 1
             return original(self, *args, **kwargs)
 
-        monkeypatch.setattr(SimulationEngine, "run_machine", counting)
+        monkeypatch.setattr(MachineWorkload, "run", counting)
         batch = engine.run_many(auto, g, runs=7, base_seed=3)
         # The synchronous run is unique: one simulation, replicated outcomes.
         assert calls == 1

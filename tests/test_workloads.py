@@ -1,0 +1,419 @@
+"""The unified workload surface: spec round-trips, legacy parity, guards.
+
+The acceptance contract of the workload layer:
+
+* every registered scenario is runnable via ``InstanceSpec -> build_workload``
+  and its ``run``/``run_many`` results are identical to the legacy entry
+  points (scenario instances, ``SimulationEngine``, ``PopulationProtocol``);
+* every ``InstanceSpec`` pickles and JSON round-trips losslessly;
+* spec-level validation catches the documented footguns (rendez-vous
+  stabilisation window, absence multi-probe livelock) and plain typos;
+* compiled memo tables respect the spec'd size cap and report statistics;
+* the legacy shims still work and emit ``DeprecationWarning`` exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import warnings
+
+import pytest
+
+from repro.core.batch import BatchResult
+from repro.core.results import RunResult, Verdict
+from repro.workloads import (
+    SCENARIOS,
+    CompiledMachineWorkload,
+    EngineOptions,
+    InstanceSpec,
+    MachineWorkload,
+    PopulationWorkload,
+    SpecValidationWarning,
+    Workload,
+    build_workload,
+    get_scenario,
+    list_scenarios,
+    reset_deprecation_warnings,
+)
+
+ALL_SCENARIOS = sorted(SCENARIOS)
+
+#: Small, fast engine options shared by the parity matrix.  The wide window
+#: keeps the rendez-vous scenarios out of the spec-level window warning.
+FAST = dict(max_steps=2_000, stability_window=50)
+SAFE = dict(max_steps=20_000, stability_window=2_000)
+
+
+def spec_of(name: str, params: dict | None = None, **engine) -> InstanceSpec:
+    opts = dict(SAFE)
+    opts.update(engine)
+    with warnings.catch_warnings():
+        # The parity matrix deliberately runs the rendez-vous scenarios with
+        # the same narrow window as the legacy calls it compares against;
+        # the spec-level warning for that is under test elsewhere.
+        warnings.simplefilter("ignore", SpecValidationWarning)
+        return InstanceSpec(name, dict(params or {}), EngineOptions(**opts))
+
+
+def legacy_instance(name: str, params: dict | None = None):
+    """The legacy scenario instance, without tripping the deprecation shim's
+    warning bookkeeping for unrelated tests."""
+    from repro.experiments.scenarios import build_instance
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return build_instance(name, params)
+
+
+# ---------------------------------------------------------------------- #
+# Spec construction, validation and round-trips
+# ---------------------------------------------------------------------- #
+class TestInstanceSpec:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_params_normalise_to_the_full_assignment(self, name):
+        spec = spec_of(name)
+        assert spec.params == get_scenario(name).defaults
+        assert spec.kind == get_scenario(name).kind
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_json_round_trip(self, name):
+        spec = spec_of(name)
+        assert InstanceSpec.from_json(spec.to_json()) == spec
+        assert InstanceSpec.from_dict(json.loads(spec.to_json())) == spec
+        assert spec.key() == InstanceSpec.from_json(spec.to_json()).key()
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_pickle_round_trip(self, name):
+        spec = spec_of(name)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_partial_and_full_params_describe_the_same_spec(self):
+        partial = spec_of("exists-label", {"a": 0})
+        full = spec_of("exists-label", dict(partial.params))
+        assert partial == full and partial.key() == full.key()
+
+    def test_specs_hash_consistently_with_equality(self):
+        partial = spec_of("exists-label", {"a": 0})
+        full = spec_of("exists-label", dict(partial.params))
+        other = spec_of("exists-label", {"a": 1})
+        assert len({partial, full, other}) == 2
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="registered scenarios"):
+            spec_of("no-such-scenario")
+
+    def test_unknown_parameters_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            spec_of("exists-label", {"typo": 3})
+
+    def test_unknown_engine_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine option"):
+            InstanceSpec.from_dict(
+                {"scenario": "exists-label", "engine": {"max_stepz": 7}}
+            )
+
+    def test_bad_engine_values_rejected(self):
+        with pytest.raises(ValueError, match="max_steps"):
+            EngineOptions(max_steps=0)
+        with pytest.raises(ValueError, match="schedule"):
+            EngineOptions(schedule="lockstep")
+        with pytest.raises(ValueError, match="memo_cap"):
+            EngineOptions(memo_cap=0)
+
+
+class TestSpecGuards:
+    @pytest.mark.parametrize("name", ["rendezvous-parity", "rendezvous-majority"])
+    def test_narrow_window_on_rendezvous_warns(self, name):
+        with pytest.warns(SpecValidationWarning, match="falsely report stabilisation"):
+            InstanceSpec(name, engine=EngineOptions(stability_window=600))
+
+    def test_wide_window_on_rendezvous_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SpecValidationWarning)
+            InstanceSpec("rendezvous-parity", engine=EngineOptions(stability_window=2_000))
+
+    def test_narrow_window_elsewhere_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SpecValidationWarning)
+            InstanceSpec("exists-label", engine=EngineOptions(stability_window=50))
+
+    def test_multi_probe_with_markers_rejected(self):
+        with pytest.raises(ValueError, match="interfere"):
+            spec_of("absence-probe", {"a": 2, "b": 1})
+
+    def test_multi_probe_without_markers_allowed(self):
+        assert spec_of("absence-probe", {"a": 3, "b": 0}).params["a"] == 3
+
+    def test_single_probe_with_markers_allowed(self):
+        assert spec_of("absence-probe", {"a": 1, "b": 2}).params["b"] == 2
+
+    def test_population_rejects_non_default_schedule(self):
+        with pytest.raises(ValueError, match="no other schedule semantics"):
+            spec_of("population-majority", schedule="synchronous")
+        workload = build_workload(spec_of("population-majority"))
+        broken = workload.with_options(schedule="synchronous")
+        with pytest.raises(ValueError, match="no other schedule semantics"):
+            broken.run(1)
+
+    def test_executor_records_the_rejection_per_task(self):
+        from repro.experiments.executor import run_spec
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "livelock-guard",
+                "runs": 1,
+                "sweeps": [
+                    {"scenario": "absence-probe", "grid": {"a": [1, 2], "b": [2]}}
+                ],
+            }
+        )
+        summary = run_spec(spec, workers=1)
+        statuses = {r["params"]["a"]: r["status"] for r in summary.records}
+        assert statuses[1] == "ok"
+        assert statuses[2] == "failed"
+        failed = next(r for r in summary.records if r["status"] == "failed")
+        assert "interfere" in failed["error"]
+
+
+# ---------------------------------------------------------------------- #
+# The parity matrix: unified surface vs legacy entry points
+# ---------------------------------------------------------------------- #
+class TestLegacyParity:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_run_matches_legacy_run_once(self, name):
+        workload = build_workload(spec_of(name, **FAST))
+        instance = legacy_instance(name)
+        for seed in (5, 77):
+            result = workload.run(seed)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                outcome = instance.run_once(seed=seed, **FAST)
+            assert (result.verdict, result.steps) == (outcome.verdict, outcome.steps)
+        assert workload.expected == instance.expected
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_run_many_matches_legacy_run_batch(self, name):
+        workload = build_workload(spec_of(name, **FAST))
+        instance = legacy_instance(name)
+        batch = workload.run_many(runs=3, base_seed=13)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = instance.run_batch(runs=3, base_seed=13, **FAST)
+        assert isinstance(batch, BatchResult)
+        assert batch.verdicts == legacy.verdicts
+        assert batch.steps == legacy.steps
+        assert batch.planned_runs == legacy.planned_runs
+        assert batch.stopped_early == legacy.stopped_early
+
+    def test_machine_workload_matches_engine_run_machine(self):
+        from repro.core.scheduler import RandomExclusiveSchedule
+        from repro.core.simulation import SimulationEngine
+
+        workload = build_workload(spec_of("exists-label", {"a": 1, "b": 5}, **FAST))
+        engine = SimulationEngine(max_steps=2_000, stability_window=50)
+        direct = engine.run_machine(
+            workload.machine, workload.graph, RandomExclusiveSchedule(seed=21)
+        )
+        via_workload = workload.run(21)
+        assert isinstance(via_workload, RunResult)
+        assert direct == via_workload
+
+    def test_population_workload_matches_protocol_simulate(self):
+        workload = build_workload(spec_of("population-majority", **FAST))
+        verdict, steps = workload.protocol.simulate(
+            workload.count, max_steps=2_000, seed=9
+        )
+        result = workload.run(9)
+        assert (result.verdict, result.steps) == (verdict, steps)
+
+    def test_quorum_early_stop_flows_through(self):
+        workload = build_workload(spec_of("exists-label", {"a": 1, "b": 4}, **FAST))
+        batch = workload.run_many(runs=10, base_seed=0, quorum=0.3)
+        assert batch.stopped_early
+        assert batch.consensus is Verdict.ACCEPT
+
+    def test_synchronous_spec_workload_is_deterministic(self):
+        workload = build_workload(
+            spec_of("exists-label", {"a": 1, "b": 4}, schedule="synchronous", **FAST)
+        )
+        assert workload.deterministic
+        batch = workload.run_many(runs=5, base_seed=2)
+        assert len(set(batch.steps)) == 1
+
+
+# ---------------------------------------------------------------------- #
+# Shipping: picklable workloads for every kind
+# ---------------------------------------------------------------------- #
+class TestShipping:
+    def test_machine_workload_ships_compiled_and_agrees(self):
+        workload = build_workload(spec_of("exists-label", {"a": 1, "b": 5}, **FAST))
+        shipped = workload.shippable()
+        assert isinstance(shipped, CompiledMachineWorkload)
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert not clone.compiled.bound
+        for seed in (3, 2024):
+            assert clone.run(seed) == workload.run(seed)
+        assert clone.compiled.bound  # registry loader re-attached δ on a miss
+
+    def test_population_workload_does_not_ship(self):
+        workload = build_workload(spec_of("population-parity", **FAST))
+        assert workload.shippable() is None
+
+    def test_count_backend_clique_does_not_ship(self):
+        workload = build_workload(spec_of("clique-majority", **FAST))
+        assert workload.shippable() is None
+
+    def test_explicit_backend_does_not_ship(self):
+        workload = build_workload(
+            spec_of("exists-label", {"a": 1, "b": 5}, backend="per-node", **FAST)
+        )
+        assert workload.shippable() is None
+
+    def test_with_options_shares_the_heavy_parts(self):
+        workload = build_workload(spec_of("exists-label", {"a": 1, "b": 5}, **FAST))
+        widened = workload.with_options(max_steps=5_000)
+        assert widened.machine is workload.machine
+        assert widened.graph is workload.graph
+        assert widened.options.max_steps == 5_000
+        assert workload.options.max_steps == FAST["max_steps"]
+
+
+# ---------------------------------------------------------------------- #
+# Compiled memo-table cap and statistics
+# ---------------------------------------------------------------------- #
+class TestMemoCap:
+    def test_capped_table_stops_growing_but_stays_correct(self):
+        from repro.core.compile import compile_machine
+
+        capped_wl = build_workload(
+            spec_of("exists-label", {"a": 1, "b": 9}, memo_cap=3, **FAST)
+        )
+        free_wl = build_workload(spec_of("exists-label", {"a": 1, "b": 9}, **FAST))
+        capped_result = capped_wl.run(17)
+        free_result = free_wl.run(17)
+        assert capped_result == free_result  # the cap never changes semantics
+        capped = compile_machine(capped_wl.machine)
+        free = compile_machine(free_wl.machine)
+        assert capped.memo_cap == 3
+        assert capped.table_size <= 3 < free.table_size
+
+    def test_stats_track_entries_and_hit_rate(self):
+        from repro.core.compile import compile_machine
+
+        workload = build_workload(
+            spec_of("exists-label", {"a": 1, "b": 9}, memo_cap=3, **FAST)
+        )
+        workload.run(17)
+        stats = compile_machine(workload.machine).stats()
+        assert stats["table_entries"] <= 3
+        assert stats["memo_cap"] == 3
+        assert stats["hits"] + stats["misses"] > 0
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        # Capped tables keep missing on the views beyond the cap.
+        assert stats["misses"] > stats["table_entries"]
+
+    def test_memo_cap_survives_pickling(self):
+        workload = build_workload(
+            spec_of("exists-label", {"a": 1, "b": 5}, memo_cap=4, **FAST)
+        )
+        shipped = workload.shippable()
+        clone = pickle.loads(pickle.dumps(shipped))
+        assert clone.compiled.memo_cap == 4
+        clone.run(3)
+        assert clone.compiled.table_size <= 4
+
+    def test_memo_cap_in_spec_round_trip(self):
+        spec = spec_of("exists-label", memo_cap=7)
+        assert InstanceSpec.from_json(spec.to_json()).engine.memo_cap == 7
+
+
+# ---------------------------------------------------------------------- #
+# Deprecation shims
+# ---------------------------------------------------------------------- #
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        reset_deprecation_warnings()
+        yield
+        reset_deprecation_warnings()
+
+    @staticmethod
+    def deprecations(calls) -> list[warnings.WarningMessage]:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for call in calls:
+                call()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_build_instance_warns_exactly_once(self):
+        from repro.experiments.scenarios import build_instance
+
+        emitted = self.deprecations(
+            [lambda: build_instance("exists-label"), lambda: build_instance("exists-label")]
+        )
+        assert len(emitted) == 1
+        assert "build_workload" in str(emitted[0].message)
+
+    def test_run_once_and_run_batch_warn_exactly_once_each(self):
+        instance = legacy_instance("exists-label")
+        emitted = self.deprecations(
+            [
+                lambda: instance.run_once(seed=1, **FAST),
+                lambda: instance.run_once(seed=2, **FAST),
+                lambda: instance.run_batch(runs=1, base_seed=0, **FAST),
+                lambda: instance.run_batch(runs=1, base_seed=1, **FAST),
+            ]
+        )
+        assert len(emitted) == 2
+        assert {("run_once" in str(w.message), "run_batch" in str(w.message)) for w in emitted} == {
+            (True, False),
+            (False, True),
+        }
+
+    def test_shippable_instance_warns_exactly_once(self):
+        from repro.experiments.scenarios import shippable_instance
+
+        emitted = self.deprecations(
+            [
+                lambda: shippable_instance("exists-label"),
+                lambda: shippable_instance("exists-label"),
+            ]
+        )
+        assert len(emitted) == 1
+
+    def test_legacy_shims_still_delegate_correctly(self):
+        instance = legacy_instance("exists-label")
+        workload = build_workload(spec_of("exists-label", **FAST))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            outcome = instance.run_once(seed=4, **FAST)
+        result = workload.run(4)
+        assert (outcome.verdict, outcome.steps) == (result.verdict, result.steps)
+
+
+# ---------------------------------------------------------------------- #
+# Registry facade
+# ---------------------------------------------------------------------- #
+class TestRegistryFacade:
+    def test_all_nine_scenarios_cover_all_five_kinds(self):
+        from repro.workloads import KINDS
+
+        assert len(ALL_SCENARIOS) == 9
+        assert {s.kind for s in list_scenarios()} == set(KINDS)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_build_workload_returns_a_workload(self, name):
+        workload = build_workload(spec_of(name, **FAST))
+        assert isinstance(workload, Workload)
+        assert isinstance(workload, (MachineWorkload, PopulationWorkload))
+        assert workload.spec is not None
+        assert workload.options.max_steps == FAST["max_steps"]
+
+    def test_build_workload_convenience_form(self):
+        workload = build_workload("exists-label", {"a": 0}, **FAST)
+        assert workload.expected is False
+        assert workload.run(3).verdict is Verdict.REJECT
