@@ -3,6 +3,7 @@
 Usage::
 
     python benchmarks/guard.py BASELINE.json FRESH.json [--ratio 0.5]
+        [--require-section NAME ...]
 
 Compares every entry of the committed *baseline* artifact that records a
 numeric ``speedup`` against the entry of the same ``name`` in the freshly
@@ -11,6 +12,11 @@ generated artifact, and exits non-zero if any fresh speedup falls below
 *ratios* between two engines measured on the same machine, so the check is
 robust to absolute machine speed — only a genuine relative regression (or a
 vanished benchmark entry) trips it.
+
+``--require-section`` asserts that *both* artifacts contain at least one
+entry of the named ``section`` (repeatable) — so dropping a whole benchmark
+series (e.g. the ``batch`` sweep-throughput section) cannot slip through as
+"nothing to compare".
 
 The two artifacts must be produced at the same scale: CI compares the
 ``--quick`` bench output against the committed quick baseline
@@ -36,6 +42,15 @@ def load_speedups(path: Path) -> dict[str, float]:
     return out
 
 
+def load_sections(path: Path) -> set[str]:
+    data = json.loads(path.read_text())
+    return {
+        entry["section"]
+        for entry in data.get("entries", [])
+        if isinstance(entry.get("section"), str)
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_backends.json")
@@ -46,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.5,
         help="minimum fresh/committed speedup ratio (default 0.5)",
     )
+    parser.add_argument(
+        "--require-section",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless both artifacts contain an entry of this section "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_speedups(args.baseline)
@@ -53,6 +76,21 @@ def main(argv: list[str] | None = None) -> int:
     if not baseline:
         print(f"error: no speedup entries in baseline {args.baseline}", file=sys.stderr)
         return 2
+
+    if args.require_section:
+        missing = 0
+        for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+            sections = load_sections(path)
+            for name in args.require_section:
+                if name not in sections:
+                    print(
+                        f"error: required section {name!r} missing from "
+                        f"{label} artifact {path}",
+                        file=sys.stderr,
+                    )
+                    missing += 1
+        if missing:
+            return 2
 
     failures = 0
     width = max(len(name) for name in baseline)

@@ -29,11 +29,15 @@ from repro.core.scheduler import Fairness, Scheduler, SelectionMode
 
 
 class Detection(Enum):
+    """The detection axis: non-counting ``d`` (β=1) vs counting ``D`` (β≥2)."""
+
     NON_COUNTING = "d"
     COUNTING = "D"
 
 
 class Acceptance(Enum):
+    """The acceptance axis: halting ``a`` vs stable consensus ``A``."""
+
     HALTING = "a"
     STABLE_CONSENSUS = "A"
 

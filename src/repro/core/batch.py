@@ -71,14 +71,17 @@ class BatchResult:
     # -- verdict aggregation -------------------------------------------- #
     @property
     def runs_executed(self) -> int:
+        """Runs actually executed (< ``planned_runs`` after a quorum stop)."""
         return len(self.verdicts)
 
     @property
     def verdict_counts(self) -> dict[Verdict, int]:
+        """Histogram of the executed runs' verdicts."""
         return dict(Counter(self.verdicts))
 
     @property
     def decided_runs(self) -> int:
+        """Executed runs that reached a decided (accept/reject) verdict."""
         return sum(1 for v in self.verdicts if v in _DECIDED)
 
     @property
@@ -122,6 +125,7 @@ class BatchResult:
         return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
     def mean_steps(self) -> float:
+        """Arithmetic mean of the per-run step counts."""
         if not self.steps:
             raise ValueError("no runs executed")
         return sum(self.steps) / len(self.steps)

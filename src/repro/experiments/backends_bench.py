@@ -165,6 +165,55 @@ def pernode_step_cost_scaling(
     }
 
 
+def batch_throughput(
+    scenario: str,
+    params: dict,
+    engine: dict,
+    batch_sizes: tuple[int, ...],
+    base_seed: int = 11,
+) -> list[dict]:
+    """Sequential vs vectorized ``run_many`` throughput at several batch sizes.
+
+    One entry per batch size ``B``: the same workload runs ``B`` seeds through
+    the per-run loop (``run_many_sequential``) and through the vectorized
+    lockstep engine (``run_many``, which dispatches to it for count-eligible
+    workloads), and the entry records both runs/sec figures plus their ratio
+    as ``speedup``.  The two batches are compared for equality on the way —
+    a free differential check riding along with every benchmark run
+    (``identical_batches``).
+    """
+    from repro.workloads import EngineOptions, InstanceSpec, build_workload
+
+    workload = build_workload(
+        InstanceSpec(scenario, dict(params), EngineOptions(**engine))
+    )
+    entries: list[dict] = []
+    for runs in batch_sizes:
+        start = time.perf_counter()
+        vectorized = workload.run_many(runs=runs, base_seed=base_seed)
+        vectorized_time = time.perf_counter() - start
+        start = time.perf_counter()
+        sequential = workload.run_many_sequential(runs=runs, base_seed=base_seed)
+        sequential_time = time.perf_counter() - start
+        entries.append(
+            {
+                "section": "batch",
+                "name": f"batch-{scenario}-B{runs}",
+                "scenario": scenario,
+                "params": dict(params),
+                "runs": runs,
+                "identical_batches": vectorized == sequential,
+                "consensus": vectorized.consensus.value,
+                "sequential_time": sequential_time,
+                "vectorized_time": vectorized_time,
+                "sequential_runs_per_sec": runs / max(sequential_time, 1e-9),
+                "vectorized_runs_per_sec": runs / max(vectorized_time, 1e-9),
+                "speedup": sequential_time / max(vectorized_time, 1e-9),
+            }
+        )
+    return entries
+
+
 def population_count_engine_stats(ab: Alphabet, agents: int, seed: int = 3) -> dict:
     """The population-protocol count engine on a large threshold instance."""
     from repro.population import threshold_protocol
@@ -191,12 +240,16 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
         dict(n=2_000, a_count=1_100, per_node_budget=400, count_max_steps=120_000,
              e2e_n=300, e2e_a=170, agents=2_000,
              pn_n=600, pn_a=330, pn_steps=6_000, pn_sizes=(600, 2_400),
-             pn_ref_steps=1_500)
+             pn_ref_steps=1_500,
+             batch_machine={"a": 600, "b": 120},
+             batch_population={"a": 60, "b": 40, "k": 3})
         if quick
         else dict(n=10_000, a_count=5_500, per_node_budget=800, count_max_steps=400_000,
                   e2e_n=600, e2e_a=330, agents=10_000,
                   pn_n=2_000, pn_a=1_100, pn_steps=20_000, pn_sizes=(2_000, 8_000),
-                  pn_ref_steps=4_000)
+                  pn_ref_steps=4_000,
+                  batch_machine={"a": 3_000, "b": 600},
+                  batch_population={"a": 60, "b": 40, "k": 3})
     )
     entries: list[dict] = []
     stats = compare_backends(
@@ -224,5 +277,25 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
                 ab, small, large, scale["pn_steps"], scale["pn_ref_steps"]
             ),
         }
+    )
+    # The "batch" section: Monte-Carlo sweep throughput of the vectorized
+    # multi-seed engine vs the sequential per-run loop, at the ISSUE's three
+    # batch sizes, on a count-eligible clique machine scenario and a
+    # population scenario.
+    entries.extend(
+        batch_throughput(
+            "clique-majority",
+            scale["batch_machine"],
+            {"max_steps": 200_000, "stability_window": 200},
+            (32, 256, 2048),
+        )
+    )
+    entries.extend(
+        batch_throughput(
+            "population-threshold",
+            scale["batch_population"],
+            {"max_steps": 200_000},
+            (32, 256, 2048),
+        )
     )
     return entries

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Four subcommands drive the experiment subsystem end to end:
+Five subcommands drive the experiment subsystem end to end:
 
 ``list-scenarios``
     Print the scenario registry (``--json`` for machine-readable output).
@@ -14,6 +14,9 @@ Four subcommands drive the experiment subsystem end to end:
     Regenerate the Figure-1-style sweep tables through the executor and
     write machine-readable perf artifacts (``BENCH_experiments.json`` and
     ``BENCH_backends.json``).
+``docs``
+    Regenerate ``docs/scenarios.md`` from the workloads registry
+    (``--check`` verifies the committed file instead — the CI drift gate).
 """
 
 from __future__ import annotations
@@ -239,6 +242,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from repro.experiments.docs import check_scenarios_markdown, write_scenarios_markdown
+
+    if args.check:
+        problems = check_scenarios_markdown(args.dir)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+        print(f"{Path(args.dir) / 'scenarios.md'} is up to date with the registry")
+        return 0
+    path = write_scenarios_markdown(args.dir)
+    print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -283,6 +302,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="smaller instances (CI smoke scale)"
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_docs = sub.add_parser(
+        "docs", help="regenerate docs/scenarios.md from the workloads registry"
+    )
+    p_docs.add_argument("--dir", default="docs", help="documentation directory")
+    p_docs.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed catalog instead of writing (exit 1 on drift)",
+    )
+    p_docs.set_defaults(func=_cmd_docs)
     return parser
 
 

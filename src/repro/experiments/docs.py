@@ -1,0 +1,150 @@
+"""Auto-generated documentation: the scenario catalog behind ``repro docs``.
+
+The scenario registry (:mod:`repro.workloads.registry` /
+:mod:`repro.workloads.catalog`) is the single source of truth for what this
+repo can run — name, kind, parameter defaults, declared ground truth and the
+documented footguns all live next to the builders.  This module renders that
+registry into ``docs/scenarios.md`` so the prose catalog can never drift
+from the code: ``python -m repro docs`` regenerates the file, and
+``python -m repro docs --check`` (run by CI) fails when the committed file
+differs from a fresh render.
+
+The render is deliberately deterministic — scenarios sorted by name, no
+timestamps — so the check is a plain byte comparison.  Beyond the static
+metadata, each entry probes the *default instance*: which engine the
+``"auto"`` backend resolves to, whether the vectorized batch engine covers
+its ``run_many``, and the expected verdict of the default parameters.  Those
+facts come from the same resolution code paths production runs use, so they
+are documentation that cannot lie.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+HEADER = """\
+# Scenario catalog
+
+> **AUTO-GENERATED** by `python -m repro docs` from the workloads registry
+> (`repro.workloads.catalog`).  Do not edit by hand: CI regenerates this
+> file and fails on drift.  Change the registry instead.
+
+Every runnable scenario, one section each: the workload kind, the decision
+rule the declared ground truth implements, the full parameter defaults, what
+the engine ladders resolve to for the default instance, the documented
+footguns, and a ready-to-run `InstanceSpec` JSON example (see
+[spec-format.md](spec-format.md) for the schema and
+[architecture.md](architecture.md) for the engines).
+"""
+
+
+def _default_instance_facts(scenario) -> dict:
+    """Engine facts of the scenario's default instance, probed live."""
+    from repro.core.backends import resolve_backend
+    from repro.core.scheduler import RandomExclusiveSchedule
+    from repro.core.vector_batch import resolve_batch_backend
+    from repro.workloads.base import build_workload
+    from repro.workloads.machine import MachineWorkload
+    from repro.workloads.spec import InstanceSpec, SpecValidationWarning
+
+    with warnings.catch_warnings():
+        # A default-engine probe, not a run: the rendezvous stability-window
+        # advisory is rendered as a footgun note instead of warned here.
+        warnings.simplefilter("ignore", SpecValidationWarning)
+        spec = InstanceSpec(scenario.name)
+        workload = build_workload(spec)
+    if isinstance(workload, MachineWorkload):
+        backend = resolve_backend(
+            "auto", workload.machine, workload.graph, RandomExclusiveSchedule(seed=0)
+        ).name
+    else:
+        backend = "counts (population engine)"
+    batch = resolve_batch_backend(workload)
+    expected = workload.expected
+    return {
+        "auto_backend": backend,
+        "batch_engine": batch.name if batch is not None else "per-run loop",
+        "expected": {True: "accept", False: "reject", None: "undeclared"}[expected],
+        "spec_json": json.dumps(spec.to_dict(), indent=2, sort_keys=False),
+    }
+
+
+def _scenario_section(scenario) -> str:
+    facts = _default_instance_facts(scenario)
+    lines = [
+        f"## `{scenario.name}`",
+        "",
+        f"{scenario.description}.",
+        "",
+        f"- **Kind:** {scenario.kind}",
+        f"- **Ground truth:** "
+        f"{scenario.ground_truth or 'none declared (no expected verdict)'}",
+        f"- **Default instance:** auto backend `{facts['auto_backend']}`, "
+        f"`run_many` via `{facts['batch_engine']}`, "
+        f"expected verdict `{facts['expected']}`",
+        "",
+        "| parameter | default |",
+        "|---|---|",
+    ]
+    for key in sorted(scenario.defaults):
+        lines.append(f"| `{key}` | `{scenario.defaults[key]!r}` |")
+    if scenario.notes:
+        lines.append("")
+        lines.append("**Footguns:**")
+        lines.append("")
+        for note in scenario.notes:
+            lines.append(f"- {note}")
+    lines.append("")
+    lines.append("```json")
+    lines.append(facts["spec_json"])
+    lines.append("```")
+    return "\n".join(lines)
+
+
+def render_scenarios_markdown() -> str:
+    """The full ``docs/scenarios.md`` content, deterministically rendered."""
+    from repro.workloads import KINDS, list_scenarios
+
+    scenarios = list_scenarios()
+    kinds = ", ".join(
+        f"{kind} ({sum(1 for s in scenarios if s.kind == kind)})" for kind in KINDS
+    )
+    parts = [
+        HEADER,
+        f"**{len(scenarios)} scenarios** over the registry's workload kinds: "
+        f"{kinds}.",
+        "",
+    ]
+    for scenario in scenarios:
+        parts.append(_scenario_section(scenario))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_scenarios_markdown(directory: str | Path) -> Path:
+    """Render the catalog into ``<directory>/scenarios.md`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "scenarios.md"
+    path.write_text(render_scenarios_markdown())
+    return path
+
+
+def check_scenarios_markdown(directory: str | Path) -> list[str]:
+    """Drift problems between the committed catalog and a fresh render.
+
+    Returns an empty list when ``<directory>/scenarios.md`` exists and is
+    byte-identical to the current registry's render; human-readable problem
+    descriptions otherwise (missing file, or stale content).
+    """
+    path = Path(directory) / "scenarios.md"
+    if not path.exists():
+        return [f"{path} does not exist; run `python -m repro docs`"]
+    if path.read_text() != render_scenarios_markdown():
+        return [
+            f"{path} is stale (the workloads registry changed); "
+            f"run `python -m repro docs` and commit the result"
+        ]
+    return []

@@ -29,6 +29,19 @@ produces a ``status="failed"`` record (with the error) and the sweep
 continues.  On POSIX a per-task wall-clock timeout is enforced with an
 interval timer inside the worker (``status="timeout"``); both statuses are
 retried on resume.
+
+**Vectorized chunk dispatch.**  The runs of one grid point that land in the
+same chunk share one engine configuration and differ only in their derived
+seed, so when the point's workload is eligible for the vectorized batch
+engine (:mod:`repro.core.vector_batch`) the chunk executes them as ONE
+lockstep task instead of a per-task loop — identical records (the engine is
+bit-identical to per-run execution, so verdicts/steps/expected are
+unchanged; only ``wall_time``, which is never compared, becomes the
+per-group mean).  The grouped path is skipped whenever a per-task timeout is
+requested (the ``SIGALRM`` budget is a per-*task* contract) and falls back
+to per-task execution on any error, keeping failure isolation intact.
+``BATCH_DISPATCH`` is a module-level switch the regression tests flip to
+prove the records are the same either way.
 """
 
 from __future__ import annotations
@@ -44,6 +57,11 @@ from repro.experiments.spec import ExperimentSpec, RunTask, canonical_json
 from repro.experiments.store import ResultStore
 from repro.workloads.base import build_workload
 from repro.workloads.spec import InstanceSpec
+
+
+#: Whether chunks may execute same-point runs through the vectorized batch
+#: engine.  On by default; tests flip it to compare against per-task records.
+BATCH_DISPATCH = True
 
 
 class TaskTimeout(Exception):
@@ -127,6 +145,71 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
     return record
 
 
+def _batch_key(task: dict) -> tuple:
+    """Tasks that may run as one vectorized batch: same point, same engine."""
+    return (
+        task["scenario"],
+        canonical_json(task["params"]),
+        task["max_steps"],
+        task["stability_window"],
+        task["backend"],
+    )
+
+
+def _run_batched(tasks: list[dict], cache: dict) -> list[dict] | None:
+    """Execute a same-point task group as one lockstep batch, or ``None``.
+
+    Returns one record per task (aligned with ``tasks``) when the group's
+    workload is batch-vectorizable, and ``None`` otherwise — including on
+    *any* error, so a broken point falls back to the per-task path and keeps
+    its per-task failure records.
+    """
+    from repro.core.vector_batch import resolve_batch_backend
+
+    first = tasks[0]
+    start = time.perf_counter()
+    try:
+        key = _task_key(first)
+        workload = cache.get(key)
+        if workload is None:
+            workload = build_workload(_task_spec(first))
+            cache[key] = workload
+        runner = workload.with_options(
+            max_steps=first["max_steps"],
+            stability_window=first["stability_window"],
+            backend=first["backend"],
+        )
+        backend = resolve_batch_backend(runner)
+        if backend is None:
+            return None
+        # Records keep only verdict/steps, so skip building the O(n) final
+        # configuration of every row.
+        results = backend.run_rows(
+            runner,
+            [task["seed"] for task in tasks],
+            materialise_configurations=False,
+        )
+    except Exception:  # noqa: BLE001 - the per-task path records the failure
+        return None
+    wall = round((time.perf_counter() - start) / len(tasks), 6)
+    return [
+        {
+            "task_id": task["task_id"],
+            "point_index": task["point_index"],
+            "scenario": task["scenario"],
+            "params": task["params"],
+            "run_index": task["run_index"],
+            "seed": task["seed"],
+            "status": "ok",
+            "verdict": result.verdict.value,
+            "steps": result.steps,
+            "expected": workload.expected,
+            "wall_time": wall,
+        }
+        for task, result in zip(tasks, results)
+    ]
+
+
 def _run_chunk(
     tasks: list[dict],
     task_timeout: float | None,
@@ -136,10 +219,28 @@ def _run_chunk(
 
     ``shipped`` pre-seeds the cache with workloads built in the parent
     (keyed exactly like the cache, by ``(scenario, canonical params)``), so
-    the chunk only builds what could not ship.
+    the chunk only builds what could not ship.  Same-point task groups go
+    through the vectorized batch engine when it is eligible (see the module
+    docstring); everything else runs task by task.
     """
     cache: dict = dict(shipped) if shipped else {}
-    return [_run_task(task, task_timeout, cache) for task in tasks]
+    records: list[dict | None] = [None] * len(tasks)
+    if BATCH_DISPATCH and task_timeout is None:
+        groups: dict[tuple, list[int]] = {}
+        for position, task in enumerate(tasks):
+            groups.setdefault(_batch_key(task), []).append(position)
+        for positions in groups.values():
+            if len(positions) < 2:
+                continue
+            batched = _run_batched([tasks[position] for position in positions], cache)
+            if batched is None:
+                continue
+            for position, record in zip(positions, batched):
+                records[position] = record
+    for position, task in enumerate(tasks):
+        if records[position] is None:
+            records[position] = _run_task(task, task_timeout, cache)
+    return records  # type: ignore[return-value]
 
 
 def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:

@@ -16,6 +16,16 @@ compiled — and population protocols) implements
   batch loops (engine, population, compiled-instance) now delegate to this
   single implementation.
 
+``run_many`` walks a small eligibility ladder before looping: deterministic
+workloads are simulated once and replicated; count-eligible workloads are
+dispatched to the vectorized multi-seed batch engine
+(:mod:`repro.core.vector_batch`), which runs every seed in lockstep and is
+**bit-identical** to the loop by construction (row ``j`` consumes the exact
+``random.Random(derive_seed(base_seed, j))`` stream of sequential run
+``j``); everything else takes the per-run loop,
+:meth:`Workload.run_many_sequential`, which is also kept as the
+differential oracle the batch engine is tested against.
+
 :func:`build_workload` turns a declarative
 :class:`~repro.workloads.spec.InstanceSpec` into the matching workload, and
 :meth:`Workload.shippable` answers "can this cross a process boundary
@@ -29,6 +39,7 @@ from dataclasses import replace
 
 from repro.core.batch import BatchResult, collect_batch, derive_seed, quorum_target
 from repro.core.results import RunResult
+from repro.core.vector_batch import resolve_batch_backend
 from repro.workloads.registry import get_scenario
 from repro.workloads.spec import EngineOptions, InstanceSpec
 
@@ -65,7 +76,7 @@ class Workload:
         min_runs: int = 1,
         keep_results: bool = False,
     ) -> BatchResult:
-        """A batch of independent Monte-Carlo runs — the one batch loop.
+        """A batch of independent Monte-Carlo runs — the one batch surface.
 
         Run ``i`` uses ``derive_seed(base_seed, i)``, so any single run is
         reproducible in isolation and independent of the batch size.
@@ -76,24 +87,73 @@ class Workload:
         truncating the replicated batch would misreport it as stopped early)
         — though the argument is still validated so a bad quorum fails
         identically everywhere.
+
+        Count-eligible workloads are executed by the vectorized batch
+        engine (all seeds in lockstep, see :mod:`repro.core.vector_batch`);
+        the result is byte-identical to :meth:`run_many_sequential` — this
+        is a performance dispatch, never a semantic one.
         """
         if runs < 1:
             raise ValueError("a batch needs at least one run")
         if self.deterministic:
             quorum_target(runs, quorum)
-            quorum = None
             result = self.run(derive_seed(base_seed, 0))
 
             def outcomes():
                 for _ in range(runs):
                     yield result.verdict, result.steps, result
 
-        else:
+            return collect_batch(
+                outcomes(),
+                runs=runs,
+                base_seed=base_seed,
+                quorum=None,
+                min_runs=min_runs,
+                keep_results=keep_results,
+            )
+        backend = resolve_batch_backend(self)
+        if backend is not None:
+            return backend.run_batch(
+                self,
+                runs,
+                base_seed=base_seed,
+                quorum=quorum,
+                min_runs=min_runs,
+                keep_results=keep_results,
+            )
+        return self.run_many_sequential(
+            runs,
+            base_seed=base_seed,
+            quorum=quorum,
+            min_runs=min_runs,
+            keep_results=keep_results,
+        )
 
-            def outcomes():
-                for index in range(runs):
-                    result = self.run(derive_seed(base_seed, index))
-                    yield result.verdict, result.steps, result
+    def run_many_sequential(
+        self,
+        runs: int,
+        base_seed: int = 0,
+        quorum: float | None = None,
+        min_runs: int = 1,
+        keep_results: bool = False,
+    ) -> BatchResult:
+        """The per-run batch loop: one :meth:`run` call per derived seed.
+
+        This is the reference implementation ``run_many`` dispatches away
+        from when the vectorized batch engine is eligible, kept verbatim as
+        the differential oracle: for every workload and every argument
+        combination, ``run_many(...) == run_many_sequential(...)``
+        byte-for-byte (the batch differential suite asserts this).  It
+        evaluates runs lazily, so quorum early-stop never even *starts* the
+        skipped runs (the vectorized path abandons them mid-flight instead).
+        """
+        if runs < 1:
+            raise ValueError("a batch needs at least one run")
+
+        def outcomes():
+            for index in range(runs):
+                result = self.run(derive_seed(base_seed, index))
+                yield result.verdict, result.steps, result
 
         return collect_batch(
             outcomes(),

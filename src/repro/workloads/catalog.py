@@ -75,6 +75,7 @@ def _graph(params: Mapping, count: LabelCount):
     kind="detection-machine",
     description="Flooding dAF detector for ∃a on a chosen graph family",
     defaults={"a": 1, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    ground_truth="accept iff a ≥ 1 (at least one 'a'-labelled node exists)",
 )
 def _exists_label(params: dict) -> MachineWorkload:
     from repro.constructions import exists_label_machine
@@ -121,6 +122,12 @@ def local_majority_machine(alphabet: Alphabet, n: int) -> DistributedMachine:
     description="Local-majority counting machine on an implicit clique "
     "(the count-backend substrate; scales to 10^4-10^6 agents)",
     defaults={"a": 6, "b": 3},
+    ground_truth="accept iff a > b, declared only for margins |a - b| ≥ 2",
+    notes=(
+        "With margin 1 the race can flip (the selected node excludes itself "
+        "from its view), so the scenario declares no ground truth there — a "
+        "sweep point with |a - b| < 2 reports expected=None.",
+    ),
 )
 def _clique_majority(params: dict) -> MachineWorkload:
     count = _label_count(params)
@@ -143,6 +150,7 @@ def _clique_majority(params: dict) -> MachineWorkload:
     description="Lemma C.5 weak-broadcast protocol for x_a ≥ k, compiled to a "
     "plain dAF machine via the Lemma 4.7 three-phase construction",
     defaults={"a": 2, "b": 2, "k": 2, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    ground_truth="accept iff a ≥ k ('a'-labelled nodes reach the threshold)",
 )
 def _threshold_broadcast(params: dict) -> MachineWorkload:
     from repro.constructions import threshold_daf_machine
@@ -199,6 +207,14 @@ def _support_probe_machine():
     description="DA$ support probe ('no b exists') compiled for bounded degree "
     "via the Lemma 4.9 distance-labelled three-phase protocol",
     defaults={"a": 1, "b": 2, "graph": "cycle"},
+    ground_truth="accept iff b = 0 (no marker nodes exist)",
+    notes=(
+        "Multiple probes with markers present (a ≥ 2 and b ≥ 1) livelock: "
+        "the probes' detection waves reset each other past any step budget, "
+        "so InstanceSpec rejects such points outright.",
+        "Runs on the degree-2 families only (cycle or line) — the Lemma 4.9 "
+        "compilation is bounded-degree.",
+    ),
 )
 def _absence_probe(params: dict) -> MachineWorkload:
     from repro.extensions import compile_absence_detection
@@ -221,6 +237,13 @@ def _absence_probe(params: dict) -> MachineWorkload:
     description="Pair-interaction parity protocol compiled into a β=2 counting "
     "machine via the Figure 4 five-status handshake (Lemma 4.10)",
     defaults={"a": 3, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    ground_truth="accept iff a is odd",
+    notes=(
+        "The handshake passes through long transient consensus stretches: a "
+        "stability window below 2000 steps falsely stabilises them on some "
+        "seeds, so InstanceSpec warns (SpecValidationWarning) below that "
+        "threshold.",
+    ),
 )
 def _rendezvous_parity(params: dict) -> MachineWorkload:
     from repro.extensions import compile_rendezvous, parity_protocol
@@ -240,6 +263,12 @@ def _rendezvous_parity(params: dict) -> MachineWorkload:
     # A comfortable margin: close races (e.g. 3 vs 2) are legitimate inputs
     # but need ~10^5 handshake steps on a cycle, too slow for a default.
     defaults={"a": 4, "b": 1, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    ground_truth="accept iff a > b (strict majority; ties reject)",
+    notes=(
+        "Same stability-window footgun as rendezvous-parity (window ≥ 2000).",
+        "Close races (margin 1) need ~10^5 handshake steps on a cycle; the "
+        "default keeps a comfortable margin so sweeps terminate quickly.",
+    ),
 )
 def _rendezvous_majority(params: dict) -> MachineWorkload:
     from repro.extensions import compile_rendezvous, majority_with_movement
@@ -260,6 +289,13 @@ def _rendezvous_majority(params: dict) -> MachineWorkload:
     description="Classical 4-state exact-majority population protocol "
     "(strict: ties reject) on a clique population",
     defaults={"a": 6, "b": 3},
+    ground_truth="accept iff a > b (strict majority; ties reject)",
+    notes=(
+        "The follower tie-fight ((b,a) → (b,b)) makes accept-side absorption "
+        "take exponentially long in the population size, for any faithful "
+        "engine — use small populations or the threshold protocols for "
+        "large-scale demos.",
+    ),
 )
 def _population_majority(params: dict) -> PopulationWorkload:
     from repro.population import four_state_majority
@@ -276,6 +312,7 @@ def _population_majority(params: dict) -> PopulationWorkload:
     kind="population",
     description="Token-accumulation population protocol for x_a ≥ k",
     defaults={"a": 3, "b": 4, "k": 3},
+    ground_truth="accept iff a ≥ k (token accumulation reaches the threshold)",
 )
 def _population_threshold(params: dict) -> PopulationWorkload:
     from repro.population import threshold_protocol
@@ -291,6 +328,7 @@ def _population_threshold(params: dict) -> PopulationWorkload:
     kind="population",
     description="Leader-based parity population protocol (odd number of a's)",
     defaults={"a": 3, "b": 2},
+    ground_truth="accept iff a is odd",
 )
 def _population_parity(params: dict) -> PopulationWorkload:
     from repro.population import parity_population_protocol

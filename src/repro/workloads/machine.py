@@ -90,6 +90,7 @@ class MachineWorkload(Workload):
 
     # ------------------------------------------------------------------ #
     def run(self, seed: int) -> RunResult:
+        """One Monte-Carlo run: build the seeded schedule, resolve, dispatch."""
         if self.schedule_factory is not None:
             schedule = self.schedule_factory(seed)
         else:
@@ -123,6 +124,7 @@ class MachineWorkload(Workload):
 
     @property
     def deterministic(self) -> bool:
+        """Synchronous declarative schedules have a unique run per instance."""
         return self.schedule_factory is None and self.options.schedule == "synchronous"
 
     # ------------------------------------------------------------------ #
@@ -194,6 +196,7 @@ class CompiledMachineWorkload(Workload):
     spec: InstanceSpec | None = None
 
     def run(self, seed: int) -> RunResult:
+        """One run on the compiled per-node engine (see the class docstring)."""
         return run_compiled(
             self.compiled,
             self.graph,

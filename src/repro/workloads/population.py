@@ -36,6 +36,7 @@ class PopulationWorkload(Workload):
     spec: InstanceSpec | None = None
 
     def run(self, seed: int) -> RunResult:
+        """One Monte-Carlo run through the protocol's own simulation engines."""
         if self.options.schedule != "random-exclusive":
             # Mirrors the spec-level guard for workloads constructed directly:
             # a declared schedule must never be silently dropped.

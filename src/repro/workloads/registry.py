@@ -48,13 +48,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class Scenario:
-    """A registered scenario: metadata plus the workload factory."""
+    """A registered scenario: metadata plus the workload factory.
+
+    ``ground_truth`` is the human-readable decision rule the scenario's
+    ``expected`` field implements (empty when the builder declares none for
+    some parameter regions), and ``notes`` collects the documented footguns
+    of the scenario family — both are rendered into the auto-generated
+    scenario catalog (``python -m repro docs``), so they live here, next to
+    the builder, instead of drifting in hand-written documentation.
+    """
 
     name: str
     kind: str
     description: str
     builder: "Callable[[dict], Workload]" = field(repr=False)
     defaults: dict = field(default_factory=dict)
+    ground_truth: str = ""
+    notes: tuple[str, ...] = ()
 
 
 SCENARIOS: dict[str, Scenario] = {}
@@ -64,7 +74,12 @@ KINDS = ("detection-machine", "broadcast", "absence", "rendezvous", "population"
 
 
 def register_scenario(
-    name: str, kind: str, description: str, defaults: dict
+    name: str,
+    kind: str,
+    description: str,
+    defaults: dict,
+    ground_truth: str = "",
+    notes: tuple[str, ...] = (),
 ) -> "Callable[[Callable[[dict], Workload]], Callable[[dict], Workload]]":
     """Class/function decorator registering a scenario builder."""
     if kind not in KINDS:
@@ -74,7 +89,13 @@ def register_scenario(
 
     def decorator(builder: "Callable[[dict], Workload]"):
         SCENARIOS[name] = Scenario(
-            name=name, kind=kind, description=description, builder=builder, defaults=defaults
+            name=name,
+            kind=kind,
+            description=description,
+            builder=builder,
+            defaults=defaults,
+            ground_truth=ground_truth,
+            notes=tuple(notes),
         )
         return builder
 
@@ -82,6 +103,7 @@ def register_scenario(
 
 
 def get_scenario(name: str) -> Scenario:
+    """The registered scenario of ``name`` (KeyError lists the known names)."""
     try:
         return SCENARIOS[name]
     except KeyError:
@@ -91,6 +113,7 @@ def get_scenario(name: str) -> Scenario:
 
 
 def list_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name (deterministic for docs/CLI)."""
     return [SCENARIOS[name] for name in sorted(SCENARIOS)]
 
 

@@ -97,6 +97,7 @@ class EngineOptions:
             raise ValueError("memo_cap must be at least 1 (or None for unbounded)")
 
     def to_dict(self) -> dict:
+        """The JSON-ready field dict (inverse of :meth:`from_dict`)."""
         return {
             "max_steps": self.max_steps,
             "stability_window": self.stability_window,
@@ -108,6 +109,7 @@ class EngineOptions:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "EngineOptions":
+        """Options from a (possibly partial) dict; unknown fields are rejected."""
         unknown = set(data) - _ENGINE_FIELDS
         if unknown:
             raise ValueError(f"unknown engine option fields {sorted(unknown)}")
@@ -185,6 +187,7 @@ class InstanceSpec:
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
+        """The JSON-ready spec dict (inverse of :meth:`from_dict`)."""
         return {
             "scenario": self.scenario,
             "params": dict(self.params),
@@ -193,6 +196,7 @@ class InstanceSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "InstanceSpec":
+        """A validated spec from its dict form; unknown fields are rejected."""
         unknown = set(data) - _SPEC_FIELDS
         if unknown:
             raise ValueError(f"unknown instance spec fields {sorted(unknown)}")
@@ -205,10 +209,12 @@ class InstanceSpec:
         )
 
     def to_json(self, indent: int | None = 2) -> str:
+        """The spec as a JSON document (see ``docs/spec-format.md``)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     @classmethod
     def from_json(cls, text: str) -> "InstanceSpec":
+        """A validated spec parsed from its JSON document form."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------ #

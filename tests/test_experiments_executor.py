@@ -342,3 +342,69 @@ class TestCompiledShipping:
             return sorted(cleaned, key=lambda r: r["task_id"])
 
         assert stripped(serial_store.load(spec)) == stripped(parallel_store.load(spec))
+
+
+class TestBatchDispatch:
+    """The vectorized chunk dispatch must be invisible in the stored records."""
+
+    def batch_spec(self) -> ExperimentSpec:
+        return ExperimentSpec.from_dict(
+            {
+                "name": "batch-dispatch-regression",
+                "sweeps": [
+                    {"scenario": "clique-majority", "grid": {"a": [8, 5], "b": [4]}},
+                    {"scenario": "population-threshold", "grid": {"a": [4], "b": [3], "k": [3]}},
+                    # Non-clique point: stays on the per-task path inside the
+                    # same chunks, exercising the mixed grouping.
+                    {"scenario": "exists-label", "grid": {"a": [1], "b": [4]}},
+                ],
+                "runs": 5,
+                "base_seed": 17,
+                "max_steps": 20_000,
+                "stability_window": 100,
+            }
+        )
+
+    def stripped(self, records):
+        cleaned = []
+        for record in records:
+            record = dict(record)
+            record.pop("wall_time")
+            cleaned.append(record)
+        return sorted(cleaned, key=lambda r: r["task_id"])
+
+    def test_batched_records_identical_to_per_task(self, tmp_path, monkeypatch):
+        import repro.experiments.executor as executor_module
+
+        spec = self.batch_spec()
+        batched_store = ResultStore(tmp_path / "batched")
+        batched = run_spec(spec, batched_store, workers=1, chunk_size=10)
+        monkeypatch.setattr(executor_module, "BATCH_DISPATCH", False)
+        loop_store = ResultStore(tmp_path / "loop")
+        looped = run_spec(spec, loop_store, workers=1, chunk_size=10)
+        assert batched.ok == looped.ok == len(spec.expand())
+        assert self.stripped(batched_store.load(spec)) == self.stripped(
+            loop_store.load(spec)
+        )
+
+    def test_parallel_batched_matches_serial(self, tmp_path):
+        spec = self.batch_spec()
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_spec(spec, serial_store, workers=1)
+        parallel = run_spec(spec, parallel_store, workers=3)
+        assert serial.ok == parallel.ok == len(spec.expand())
+        assert self.stripped(serial_store.load(spec)) == self.stripped(
+            parallel_store.load(spec)
+        )
+
+    def test_task_timeout_disables_grouping_but_not_results(self, tmp_path):
+        spec = self.batch_spec()
+        timed_store = ResultStore(tmp_path / "timed")
+        timed = run_spec(spec, timed_store, workers=1, task_timeout=60.0)
+        plain_store = ResultStore(tmp_path / "plain")
+        plain = run_spec(spec, plain_store, workers=1)
+        assert timed.ok == plain.ok == len(spec.expand())
+        assert self.stripped(timed_store.load(spec)) == self.stripped(
+            plain_store.load(spec)
+        )

@@ -1,0 +1,381 @@
+"""Differential matrix for the vectorized multi-seed batch engine.
+
+Every test here enforces the engine's core contract: for every eligible
+workload and every ``run_many`` argument combination, the vectorized lockstep
+path produces a :class:`~repro.core.batch.BatchResult` **byte-identical** to
+the sequential per-run loop (``Workload.run_many_sequential``, the
+differential oracle) — same verdicts, same step counts, same full
+:class:`~repro.core.results.RunResult` objects when kept, same quorum
+truncation and ``stopped_early`` flag.
+
+Marked ``batch`` (see ``pytest.ini``): the matrix runs in tier-1 and is also
+exercised explicitly by the CI backends job.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import derive_seed
+from repro.core.labels import Alphabet, LabelCount
+from repro.core.results import Verdict
+from repro.core.streaks import ArrayStreakDriver, ConsensusStreakDriver
+from repro.core.vector_batch import VECTOR_BATCH, resolve_batch_backend
+from repro.population import PopulationProtocol
+from repro.workloads import (
+    EngineOptions,
+    InstanceSpec,
+    PopulationWorkload,
+    build_workload,
+)
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.batch
+
+AB = Alphabet.of("a", "b")
+
+#: The eligible differential matrix: every workload kind whose per-run engine
+#: is count-level, with a spread of margins, verdict outcomes and step scales.
+ELIGIBLE = [
+    ("clique-majority", {"a": 6, "b": 3}, {}),
+    ("clique-majority", {"a": 20, "b": 14}, {}),
+    ("clique-majority", {"a": 3, "b": 9}, {}),
+    ("clique-majority", {"a": 5, "b": 4}, {}),  # margin 1: race can flip
+    ("exists-label", {"a": 1, "b": 4, "graph": "clique"}, {}),
+    ("exists-label", {"a": 0, "b": 5, "graph": "clique"}, {}),
+    ("threshold-broadcast", {"a": 2, "b": 2, "k": 2, "graph": "clique"}, {}),
+    (
+        "rendezvous-parity",
+        {"a": 3, "b": 2, "graph": "clique"},
+        {"stability_window": 2000, "max_steps": 60_000},
+    ),
+    ("population-majority", {"a": 6, "b": 3}, {"max_steps": 10_000}),
+    ("population-threshold", {"a": 3, "b": 4, "k": 3}, {}),
+    ("population-threshold", {"a": 4, "b": 3, "k": 3}, {}),
+    ("population-parity", {"a": 3, "b": 2}, {}),
+]
+
+
+def _workload(name, params, engine):
+    return build_workload(InstanceSpec(name, dict(params), EngineOptions(**engine)))
+
+
+def ids(matrix):
+    return [f"{name}[{params}]" for name, params, _ in matrix]
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("name,params,engine", ELIGIBLE, ids=ids(ELIGIBLE))
+    def test_eligible_resolves_to_vector_batch(self, name, params, engine):
+        backend = resolve_batch_backend(_workload(name, params, engine))
+        assert backend is VECTOR_BATCH
+
+    @pytest.mark.parametrize(
+        "name,params,engine",
+        [
+            # Non-clique graphs stay on the per-node engines.
+            ("exists-label", {"a": 1, "b": 4, "graph": "cycle"}, {}),
+            ("rendezvous-parity", {"a": 3, "b": 2}, {"stability_window": 2000}),
+            # A 5-node cycle (3-node cycles are cliques and stay eligible).
+            ("absence-probe", {"a": 1, "b": 4}, {}),
+            # Trace recording and explicit per-run backends keep their path.
+            ("clique-majority", {"a": 6, "b": 3}, {"backend": "per-node"}),
+            ("exists-label", {"a": 1, "b": 4, "graph": "clique"}, {"record_trace": True}),
+            # The agents method has per-agent (not count-level) dynamics.
+            ("population-majority", {"a": 6, "b": 3}, {"backend": "agents"}),
+            # Synchronous schedules take the deterministic-replication path.
+            ("clique-majority", {"a": 6, "b": 3}, {"schedule": "synchronous"}),
+        ],
+    )
+    def test_ineligible_falls_back(self, name, params, engine):
+        assert resolve_batch_backend(_workload(name, params, engine)) is None
+
+    def test_schedule_factory_and_backend_override_fall_back(self):
+        from repro.core.backends import COUNT_BACKEND
+        from repro.core.scheduler import RandomExclusiveSchedule
+
+        workload = _workload("clique-majority", {"a": 6, "b": 3}, {})
+        assert resolve_batch_backend(workload) is VECTOR_BATCH
+        with_factory = workload.with_options()
+        with_factory.schedule_factory = lambda seed: RandomExclusiveSchedule(seed=seed)
+        assert resolve_batch_backend(with_factory) is None
+        with_override = workload.with_options()
+        with_override.backend_override = COUNT_BACKEND
+        assert resolve_batch_backend(with_override) is None
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("name,params,engine", ELIGIBLE, ids=ids(ELIGIBLE))
+    def test_run_many_bit_identical(self, name, params, engine):
+        workload = _workload(name, params, engine)
+        vectorized = workload.run_many(runs=7, base_seed=11, keep_results=True)
+        sequential = workload.run_many_sequential(runs=7, base_seed=11, keep_results=True)
+        assert vectorized == sequential
+
+    @pytest.mark.parametrize("name,params,engine", ELIGIBLE[:4] + ELIGIBLE[-3:])
+    def test_quorum_truncation_identical(self, name, params, engine):
+        workload = _workload(name, params, engine)
+        for quorum, min_runs in ((0.5, 1), (0.25, 3), (1.0, 1)):
+            vectorized = workload.run_many(
+                runs=9, base_seed=4, quorum=quorum, min_runs=min_runs
+            )
+            sequential = workload.run_many_sequential(
+                runs=9, base_seed=4, quorum=quorum, min_runs=min_runs
+            )
+            assert vectorized == sequential
+
+    def test_run_rows_matches_per_run_calls(self):
+        workload = _workload("clique-majority", {"a": 8, "b": 5}, {})
+        seeds = [derive_seed(3, j) for j in range(6)] + [123456789]
+        assert VECTOR_BATCH.run_rows(workload, seeds) == [
+            workload.run(seed) for seed in seeds
+        ]
+
+    def test_row_independent_of_batch_size(self):
+        workload = _workload("population-parity", {"a": 3, "b": 2}, {})
+        small = workload.run_many(runs=3, base_seed=9)
+        large = workload.run_many(runs=8, base_seed=9)
+        assert small.verdicts == large.verdicts[:3]
+        assert small.steps == large.steps[:3]
+
+
+class TestEdgeCases:
+    def test_single_run_batch(self):
+        workload = _workload("clique-majority", {"a": 6, "b": 3}, {})
+        vectorized = workload.run_many(runs=1, base_seed=2, keep_results=True)
+        sequential = workload.run_many_sequential(runs=1, base_seed=2, keep_results=True)
+        assert vectorized == sequential
+        assert vectorized.runs_executed == 1
+
+    def test_all_rows_early_quorum(self):
+        """A tiny quorum target stops both paths after the first decided run."""
+        workload = _workload("clique-majority", {"a": 9, "b": 4}, {})
+        vectorized = workload.run_many(runs=20, base_seed=0, quorum=0.05)
+        sequential = workload.run_many_sequential(runs=20, base_seed=0, quorum=0.05)
+        assert vectorized == sequential
+        assert vectorized.stopped_early
+        assert vectorized.runs_executed == 1
+
+    def test_zero_successful_runs(self):
+        """A budget far too small to absorb the minority decides nothing."""
+        workload = _workload("clique-majority", {"a": 30, "b": 25}, {"max_steps": 20})
+        vectorized = workload.run_many(runs=6, base_seed=1, quorum=0.5, keep_results=True)
+        sequential = workload.run_many_sequential(
+            runs=6, base_seed=1, quorum=0.5, keep_results=True
+        )
+        assert vectorized == sequential
+        assert vectorized.decided_runs == 0
+        assert vectorized.consensus is Verdict.UNDECIDED
+        assert not vectorized.stopped_early
+
+    def test_population_fixed_point_without_consensus(self):
+        """The scalar engine reports (UNDECIDED, max_steps) here; so must we."""
+        inert = PopulationProtocol(
+            alphabet=AB,
+            init=lambda label: label,
+            delta=lambda p, q: (p, q),
+            name="inert",
+        )
+        count = LabelCount.from_mapping(AB, {"a": 2, "b": 2})
+        workload = PopulationWorkload(
+            protocol=inert, count=count, options=EngineOptions(max_steps=500)
+        )
+        assert resolve_batch_backend(workload) is VECTOR_BATCH
+        vectorized = workload.run_many(runs=4, base_seed=7, keep_results=True)
+        sequential = workload.run_many_sequential(runs=4, base_seed=7, keep_results=True)
+        assert vectorized == sequential
+        assert vectorized.verdicts == [Verdict.UNDECIDED] * 4
+        assert vectorized.steps == [500] * 4
+
+    def test_population_fixed_point_with_consensus(self):
+        inert = PopulationProtocol(
+            alphabet=AB,
+            init=lambda label: "done",
+            delta=lambda p, q: (p, q),
+            accepting={"done"},
+            name="inert-accepting",
+        )
+        count = LabelCount.from_mapping(AB, {"a": 2, "b": 2})
+        workload = PopulationWorkload(
+            protocol=inert, count=count, options=EngineOptions(max_steps=500)
+        )
+        vectorized = workload.run_many(runs=4, base_seed=7, keep_results=True)
+        sequential = workload.run_many_sequential(runs=4, base_seed=7, keep_results=True)
+        assert vectorized == sequential
+        assert vectorized.verdicts == [Verdict.ACCEPT] * 4
+
+    def test_synchronous_replication_parity(self):
+        """The deterministic shortcut stays in charge for synchronous specs,
+        and its replicated batch equals actually running every seed."""
+        workload = _workload(
+            "clique-majority", {"a": 6, "b": 3}, {"schedule": "synchronous"}
+        )
+        assert workload.deterministic
+        replicated = workload.run_many(runs=5, base_seed=3, keep_results=True)
+        sequential = workload.run_many_sequential(runs=5, base_seed=3, keep_results=True)
+        assert replicated == sequential
+        assert not replicated.stopped_early
+
+    def test_max_steps_exhaustion_identical(self):
+        """Rows that run out of budget mid-flight retire identically."""
+        workload = _workload(
+            "clique-majority", {"a": 20, "b": 18}, {"max_steps": 40, "stability_window": 30}
+        )
+        vectorized = workload.run_many(runs=6, base_seed=5, keep_results=True)
+        sequential = workload.run_many_sequential(runs=6, base_seed=5, keep_results=True)
+        assert vectorized == sequential
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [("clique-majority", {"a": 8, "b": 5}), ("population-threshold", {"a": 3, "b": 4, "k": 3})],
+    )
+    def test_memo_cap_is_invisible_in_results(self, name, params):
+        """A tiny cap re-analyses count vectors per visit but changes nothing."""
+        capped = _workload(name, params, {"memo_cap": 1})
+        assert resolve_batch_backend(capped) is VECTOR_BATCH
+        vectorized = capped.run_many(runs=5, base_seed=3, keep_results=True)
+        sequential = _workload(name, params, {}).run_many_sequential(
+            runs=5, base_seed=3, keep_results=True
+        )
+        assert vectorized == sequential
+
+    def test_memo_cap_bounds_the_batch_caches(self):
+        workload = _workload("clique-majority", {"a": 7, "b": 4}, {"memo_cap": 4})
+        engine = VECTOR_BATCH._plan(workload)(workload)
+        engine.run([random.Random(derive_seed(0, j)) for j in range(5)])
+        assert len(engine._nodes) <= 4
+        assert len(engine._delta_cache) <= 4
+        uncapped = _workload("clique-majority", {"a": 7, "b": 4}, {})
+        reference = VECTOR_BATCH._plan(uncapped)(uncapped)
+        reference.run([random.Random(derive_seed(0, j)) for j in range(5)])
+        assert len(reference._nodes) > 4  # the cap genuinely bit
+
+    def test_quorum_abandons_rows_past_the_stop_position(self):
+        """With the quorum reached by the row prefix, later rows stop mid-flight.
+
+        Needs a scenario whose rows finish at *different* lockstep iterations
+        (population runs vary in active-interaction counts; clique-majority
+        rows all exhaust the minority after the same few active steps) —
+        otherwise there is nothing left alive to abandon.
+        """
+        workload = _workload("population-parity", {"a": 3, "b": 2}, {})
+        engine = VECTOR_BATCH._plan(workload)(workload)
+        seeds = [derive_seed(0, j) for j in range(32)]
+        results = engine.run(
+            [random.Random(seed) for seed in seeds], early_stop=(1, 1, 32)
+        )
+        assert results[0] is not None  # the stop position itself completed
+        assert any(result is None for result in results[1:])  # work was saved
+        # And the public surface folds the partial row list identically.
+        vectorized = workload.run_many(runs=32, base_seed=0, quorum=1 / 32)
+        sequential = workload.run_many_sequential(runs=32, base_seed=0, quorum=1 / 32)
+        assert vectorized == sequential
+        assert vectorized.stopped_early and vectorized.runs_executed == 1
+
+    def test_unkept_results_skip_configuration_materialisation(self):
+        """With keep_results=False all B results stay resident until folded,
+        so the O(n) per-row state tuples are only built on request — and the
+        folded BatchResult is identical either way."""
+        workload = _workload("clique-majority", {"a": 7, "b": 4}, {})
+        engine = VECTOR_BATCH._plan(workload)(workload)
+        light = engine.run(
+            [random.Random(derive_seed(0, j)) for j in range(4)],
+            materialise_configurations=False,
+        )
+        assert all(result.final_configuration == () for result in light)
+        assert workload.run_many(runs=4, base_seed=0) == workload.run_many_sequential(
+            runs=4, base_seed=0
+        )
+
+    def test_delta_cache_gated_off_at_uncapped_view(self):
+        """β ≥ n-1 views biject with count vectors (the node cache already
+        dedupes them), so the δ cache is gated off exactly like _CountRun's."""
+        full_view = _workload("clique-majority", {"a": 7, "b": 4}, {})
+        engine = VECTOR_BATCH._plan(full_view)(full_view)
+        assert engine.machine.beta >= engine.n - 1
+        engine.run([random.Random(derive_seed(0, j)) for j in range(3)])
+        assert engine._delta_cache == {}
+        capped_view = _workload("exists-label", {"a": 1, "b": 4, "graph": "clique"}, {})
+        engine = VECTOR_BATCH._plan(capped_view)(capped_view)
+        assert engine.machine.beta < engine.n - 1
+        engine.run([random.Random(derive_seed(0, j)) for j in range(3)])
+        assert engine._delta_cache  # capped views genuinely share entries
+
+    def test_count_matrix_matches_final_counts(self):
+        """The (B, |states|) matrix rows agree with the per-run results."""
+        from repro.core.configuration import state_counts
+
+        workload = _workload("clique-majority", {"a": 7, "b": 4}, {})
+        plan = VECTOR_BATCH._plan(workload)
+        engine = plan(workload)
+        seeds = [derive_seed(0, j) for j in range(5)]
+        results = engine.run([random.Random(seed) for seed in seeds])
+        for row, result in enumerate(results):
+            assert engine._matrix_counts(row) == state_counts(
+                result.final_configuration
+            )
+
+
+class TestArrayStreakDriver:
+    """The array driver replayed event-for-event against scalar drivers."""
+
+    CODES = {None: ArrayStreakDriver.NO_CONSENSUS, False: 0, True: 1}
+
+    def test_random_event_sequences_match_scalar(self):
+        rng = random.Random(42)
+        for trial in range(30):
+            window = rng.randint(1, 12)
+            max_steps = rng.randint(5, 200)
+            rows = rng.randint(1, 5)
+            values = [rng.choice([None, False, True]) for _ in range(rows)]
+            scalars = [
+                ConsensusStreakDriver(window, max_steps, value) for value in values
+            ]
+            array = ArrayStreakDriver(
+                window, max_steps, [self.CODES[value] for value in values]
+            )
+            finished = [False] * rows
+            for _ in range(60):
+                live = [j for j in range(rows) if not finished[j]]
+                if not live:
+                    break
+                event = rng.choice(["silent", "active", "fixed"])
+                value_draw = [rng.choice([None, False, True]) for _ in live]
+                codes = [self.CODES[value] for value in value_draw]
+                if event == "silent":
+                    stretch = [rng.randint(1, 20) for _ in live]
+                    expected = [
+                        scalars[j].advance_silent(stretch[k], value_draw[k])
+                        for k, j in enumerate(live)
+                    ]
+                    got = array.advance_silent(live, stretch, codes)
+                elif event == "active":
+                    expected = [
+                        scalars[j].record_active(value_draw[k])
+                        for k, j in enumerate(live)
+                    ]
+                    got = array.record_active(live, codes)
+                else:
+                    expected = [
+                        scalars[j].finish_at_fixed_point(value_draw[k])
+                        for k, j in enumerate(live)
+                    ]
+                    array.finish_at_fixed_point(live, codes)
+                    got = [True] * len(live)
+                assert list(got) == expected, (trial, event)
+                for k, j in enumerate(live):
+                    # Scalar loops stop driving a run once it finishes or its
+                    # budget is spent; mirror that here.
+                    if expected[k] or scalars[j].exhausted:
+                        finished[j] = True
+                for j in range(rows):
+                    assert array.step[j] == scalars[j].step
+                    assert array.streak[j] == scalars[j].streak
+                    assert array.value[j] == self.CODES[scalars[j].value]
+                    stabilised = array.stabilised_at[j]
+                    assert (None if stabilised < 0 else stabilised) == scalars[
+                        j
+                    ].stabilised_at

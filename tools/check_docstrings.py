@@ -1,0 +1,136 @@
+"""pydocstyle-lite: enforce docstrings on the public simulation surface.
+
+Usage::
+
+    python tools/check_docstrings.py [ROOT ...]
+
+Walks the given package roots (default: ``src/repro/workloads`` and
+``src/repro/core`` — the public API and the engine layer whose invariants
+the rest of the repo builds on) and asserts, via ``ast`` (no imports, so a
+syntax-error-free tree is the only requirement):
+
+* every module has a module docstring;
+* every public class (name not starting with ``_``) has a docstring;
+* every public module-level function has a docstring;
+* on the *strict* surface — ``repro/workloads`` plus the batch engine
+  modules (``core/batch.py``, ``core/vector_batch.py``,
+  ``core/streaks.py``) — every public method of a public class has a
+  docstring too, except trivial dunders (``__init__`` and friends may lean
+  on the class docstring).
+
+Exit status is the number of violations (0 = clean).  Run by CI and by
+``tests/test_docstrings.py``, so a missing docstring fails tier-1.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ("src/repro/workloads", "src/repro/core")
+
+#: Path fragments whose public *methods* must be documented as well — the
+#: unified Workload API and the batch/streak engine modules whose
+#: invariants (seed derivation, bit-identity) live in prose.
+STRICT_FRAGMENTS = (
+    "repro/workloads/",
+    "repro/core/batch.py",
+    "repro/core/vector_batch.py",
+    "repro/core/streaks.py",
+)
+
+#: Dunder methods whose behaviour is defined by the data model; requiring a
+#: docstring on each would add noise, not information.
+ALLOWED_UNDOCUMENTED_DUNDERS = {
+    "__init__",
+    "__post_init__",
+    "__repr__",
+    "__str__",
+    "__eq__",
+    "__ne__",
+    "__hash__",
+    "__iter__",
+    "__len__",
+    "__contains__",
+    "__getitem__",
+    "__enter__",
+    "__exit__",
+    "__getstate__",
+    "__setstate__",
+}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _needs_docstring(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name not in ALLOWED_UNDOCUMENTED_DUNDERS
+    return _is_public(name)
+
+
+def check_file(path: Path) -> list[str]:
+    """Violation descriptions for one Python source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    strict = any(str(path).endswith(f) or f in str(path) for f in STRICT_FRAGMENTS)
+    problems: list[str] = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name) and ast.get_docstring(node) is None:
+                problems.append(
+                    f"{path}:{node.lineno}: public function {node.name!r} "
+                    f"missing docstring"
+                )
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{path}:{node.lineno}: public class {node.name!r} "
+                    f"missing docstring"
+                )
+            if not strict:
+                continue
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _needs_docstring(member.name) and ast.get_docstring(member) is None:
+                    problems.append(
+                        f"{path}:{member.lineno}: public method "
+                        f"{node.name}.{member.name} missing docstring"
+                    )
+    return problems
+
+
+def check_roots(roots=DEFAULT_ROOTS, base: Path | None = None) -> list[str]:
+    """Violations across every ``.py`` file under the given roots."""
+    base = base if base is not None else Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    for root in roots:
+        root_path = base / root
+        if not root_path.exists():
+            problems.append(f"{root_path}: root does not exist")
+            continue
+        for path in sorted(root_path.rglob("*.py")):
+            problems.extend(check_file(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; exits with the violation count."""
+    roots = tuple(argv) if argv else DEFAULT_ROOTS
+    problems = check_roots(roots)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} docstring violation(s)", file=sys.stderr)
+    else:
+        checked = ", ".join(roots)
+        print(f"docstring coverage clean under: {checked}")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
