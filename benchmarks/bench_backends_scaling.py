@@ -21,7 +21,10 @@ The acceptance series for the backend architecture:
 * the **batch section** (``@pytest.mark.batch``): the vectorized multi-seed
   batch engine (:mod:`repro.core.vector_batch`) against the sequential
   per-run loop at B ∈ {32, 256, 2048}, asserting ≥ 5× runs/sec at B=2048 on
-  a count-eligible clique scenario and byte-identical batches throughout.
+  a count-eligible clique scenario and byte-identical batches throughout;
+  plus the non-clique series: the lockstep per-node engine
+  (:mod:`repro.core.vector_pernode`) on the 2,000-node cycle majority
+  instance, asserting ≥ 3× runs/sec at B=512.
 
 The measurement code is shared with ``python -m repro bench``
 (:mod:`repro.experiments.backends_bench`), and every stat collected here is
@@ -48,6 +51,7 @@ from repro.experiments.backends_bench import (
     compare_backends,
     compare_pernode_backends,
     end_to_end_comparison,
+    pernode_batch_throughput,
     pernode_step_cost_scaling,
 )
 from repro.experiments.benchjson import write_bench_json
@@ -240,6 +244,38 @@ def test_vectorized_batch_population_throughput(benchmark, ab):
         print(
             f"\n[batch] population-threshold n=100 B={entry['runs']}: sequential "
             f"{entry['sequential_runs_per_sec']:.0f} runs/s, vectorized "
+            f"{entry['vectorized_runs_per_sec']:.0f} runs/s "
+            f"(≈{entry['speedup']:.1f}×, identical batches)"
+        )
+
+
+@pytest.mark.batch
+def test_lockstep_pernode_batch_throughput(benchmark, ab):
+    """Acceptance criterion: ≥ 3× runs/sec at B=512 on the n=2,000 cycle majority.
+
+    The non-clique counterpart of the count-level batch benchmark: all B
+    seeds of the compiled per-node engine run in lockstep (shared memoised
+    view table, per-row O(deg) configuration updates, array-form streak
+    accounting), against the sequential per-run loop it must beat *and*
+    byte-identically reproduce (``identical_batches`` asserts both on every
+    entry).
+    """
+    stats = benchmark.pedantic(
+        pernode_batch_throughput,
+        args=(ab, 2_000, 1_100, 8_000, (64, 512)),
+        rounds=1,
+        iterations=1,
+    )
+    _BENCH_ENTRIES.extend(stats)
+    for entry in stats:
+        assert entry["identical_batches"], f"batch diverged at B={entry['runs']}"
+    largest = stats[-1]
+    assert largest["runs"] == 512
+    assert largest["speedup"] >= 3, f"only {largest['speedup']:.1f}x at B=512"
+    for entry in stats:
+        print(
+            f"\n[batch] cycle-majority n=2,000 B={entry['runs']}: sequential "
+            f"{entry['sequential_runs_per_sec']:.0f} runs/s, lockstep "
             f"{entry['vectorized_runs_per_sec']:.0f} runs/s "
             f"(≈{entry['speedup']:.1f}×, identical batches)"
         )

@@ -55,6 +55,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 ViewKey = tuple
 
 
+def canonical_view_key(degree: int, counts: dict, beta: int) -> ViewKey:
+    """The canonical :data:`ViewKey` of one neighbourhood.
+
+    ``counts`` maps interned neighbour state ids to their *uncapped*
+    multiplicities; the key caps each count at ``beta`` (the most a
+    transition may observe, Section 2.1) and sorts the items by state id so
+    that every engine building keys — the sequential
+    :func:`run_compiled` loop and the lockstep batch engine
+    (:mod:`repro.core.vector_pernode`) — lands on the same table entry for
+    the same view.
+    """
+    return (
+        degree,
+        tuple(sorted((q, c if c < beta else beta) for q, c in counts.items())),
+    )
+
+
 class CompiledMachineUnbound(RuntimeError):
     """A compiled machine met an unmemoised view with no δ and no loader."""
 
@@ -347,15 +364,7 @@ def run_compiled(
             sid = states[v]
             key = view_keys[v]
             if key is None:
-                counts = nbr_counts[v]
-                key = (
-                    degrees[v],
-                    tuple(
-                        sorted(
-                            (q, c if c < beta else beta) for q, c in counts.items()
-                        )
-                    ),
-                )
+                key = canonical_view_key(degrees[v], nbr_counts[v], beta)
                 view_keys[v] = key
             row = table.get(sid)
             nxt = row.get(key) if row is not None else None

@@ -25,8 +25,9 @@ population engine): the driver only ever compares it for equality and against
 ``None`` ("no consensus").
 
 :class:`ArrayStreakDriver` is the same accounting lifted into array form for
-the vectorized batch engine (:mod:`repro.core.vector_batch`): one numpy row
-per Monte-Carlo run, with :meth:`ArrayStreakDriver.advance_silent` /
+the vectorized batch engines (:mod:`repro.core.vector_batch` count-level,
+:mod:`repro.core.vector_pernode` lockstep per-node): one numpy row per
+Monte-Carlo run, with :meth:`ArrayStreakDriver.advance_silent` /
 :meth:`ArrayStreakDriver.record_active` applied to a *subset* of rows per
 lockstep iteration.  Its update rules are a transliteration of the scalar
 driver — for every row the sequence of (step, streak, value, stabilised_at)

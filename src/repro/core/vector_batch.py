@@ -41,18 +41,21 @@ as the differential oracle).  Two contracts make this possible:
    identical — not merely statistically equivalent.
 
 Eligibility mirrors ``resolve_backend``'s auto ladder one level up:
-:func:`resolve_batch_backend` returns the vectorized backend for workloads
-whose per-run engine is count-level (clique machine instances under the
-random-exclusive schedule, population protocols under the counts method) and
-``None`` otherwise, in which case ``run_many`` falls back to the per-run
-loop.  Quorum batches abandon the rows the sequential loop would have
-skipped: the quorum rule is an ordered prefix scan (run ``j`` is only
-consulted once runs ``0..j-1`` have outcomes), so as soon as the *finished
-prefix* of rows satisfies it — the exact ``collect_batch`` stopping rule —
-every later row is dropped mid-flight.  The lockstep engine may still spend
-somewhat more work than the sequential loop (rows beyond the eventual stop
-position advance until the prefix completes), but small-quorum batches no
-longer pay for all ``B`` rows.
+:func:`resolve_batch_backend` returns this count-vector backend for
+workloads whose per-run engine is count-level (clique machine instances
+under the random-exclusive schedule, population protocols under the counts
+method), the per-node lockstep backend of
+:mod:`repro.core.vector_pernode` for workloads whose per-run engine is the
+compiled per-node one (non-clique machine instances, shipped compiled
+workloads), and ``None`` otherwise, in which case ``run_many`` falls back
+to the per-run loop.  Quorum batches abandon the rows the sequential loop
+would have skipped: the quorum rule is an ordered fold (run ``j`` is only
+consulted once runs ``0..j-1`` have outcomes) whose stopping condition is
+monotone in the decided-verdict counts, so :func:`quorum_abandon_bound`
+derives, from the rows finished *so far*, the tightest position the fold
+can possibly stop at — and every row at or past that bound is dropped
+mid-flight the moment the bound becomes provable, not only once the
+finished prefix catches up.
 
 ``EngineOptions.memo_cap`` bounds the per-batch caches the same way it
 bounds the compiled machine's memo table: once the successor-graph node
@@ -97,6 +100,46 @@ def _code(value) -> int:
     if value is None:
         return _NONE
     return _TRUE if value else _FALSE
+
+
+def quorum_abandon_bound(results: list, early_stop: tuple) -> int | None:
+    """The tightest provable bound on how many rows ``collect_batch`` consumes.
+
+    ``results`` is the in-flight per-row result list (``None`` = still
+    running or abandoned) and ``early_stop`` the quorum contract
+    ``(target, min_runs, runs)`` from
+    :func:`~repro.core.batch.quorum_target`.  Rows are scanned in fold
+    order, counting decided verdicts among the rows that have *already
+    finished*, and the exact ``collect_batch`` stopping condition is applied
+    after each position.  The condition is monotone in the decided counts —
+    a still-running row can only add to them once it finishes — so if it
+    already holds at position ``i`` over the finished subset, the sequential
+    fold is guaranteed to stop after consuming at most ``i + 1`` rows.
+    Rows at index ``>= i + 1`` can therefore never be consulted and may be
+    abandoned immediately, even while earlier rows are still mid-flight.
+    Returns that bound, or ``None`` while no stop can be proven yet.
+
+    This strictly subsumes the earlier finished-*prefix* rule (a complete
+    satisfying prefix is just the special case where every scanned row has
+    finished), which let rows beyond the eventual stop position burn
+    lockstep work until the prefix caught up.
+    """
+    target, min_runs, runs = early_stop
+    accepts = rejects = 0
+    for consumed, result in enumerate(results, start=1):
+        if result is not None:
+            verdict = result.verdict
+            if verdict is Verdict.ACCEPT:
+                accepts += 1
+            elif verdict is Verdict.REJECT:
+                rejects += 1
+        if (
+            consumed >= min_runs
+            and consumed < runs
+            and (accepts >= target or rejects >= target)
+        ):
+            return consumed
+    return None
 
 
 class _Node:
@@ -222,12 +265,14 @@ class _LockstepRun:
         """Advance every row to completion; one ``RunResult`` per generator.
 
         ``early_stop`` is the quorum contract ``(target, min_runs, runs)``
-        from :func:`~repro.core.batch.quorum_target`: after each lockstep
-        iteration the *finished prefix* of rows is scanned with exactly the
-        ``collect_batch`` stopping rule, and once it triggers every later
-        row is abandoned — its slot stays ``None``.  ``collect_batch``
-        drains the returned list in row order and stops at the same
-        position, so it never reaches an abandoned slot.
+        from :func:`~repro.core.batch.quorum_target`: after any lockstep
+        iteration that retires a row, :func:`quorum_abandon_bound` derives
+        the tightest row count the ``collect_batch`` fold can possibly
+        consume, and every row at or past that bound is abandoned
+        immediately — its slot stays ``None`` — while earlier rows keep
+        running to completion.  ``collect_batch`` drains the returned list
+        in row order and stops at or before the bound, so it never reaches
+        an abandoned slot.
 
         ``materialise_configurations=False`` retires machine rows with an
         empty ``final_configuration`` instead of an O(n) state tuple — all
@@ -239,8 +284,6 @@ class _LockstepRun:
         np = _np
         batch = len(rngs)
         self.materialise_configurations = materialise_configurations
-        self._prefix = 0
-        self._prefix_counts: dict = {}
         rands = [rng.random for rng in rngs]
         initial = self._node_for(self._initial_counts())
         self.row_node: list[_Node] = [initial] * batch
@@ -257,6 +300,7 @@ class _LockstepRun:
         driver = self.driver
         row_node = self.row_node
         while alive:
+            retired = False
             fixed_rows: list[int] = []
             live_rows: list[int] = []
             silent_values: list[int] = []
@@ -275,6 +319,7 @@ class _LockstepRun:
                 live_codes.append(node.consensus_code)
             if fixed_rows:
                 self._finish_fixed(fixed_rows, [row_node[j] for j in fixed_rows])
+                retired = True
             survivors: list[int] = []
             if live_rows:
                 rows = np.array(live_rows, dtype=np.intp)
@@ -289,6 +334,7 @@ class _LockstepRun:
                     )
                     for j in stretch_rows[finished]:
                         self.results[j] = self._retire(int(j), row_node[j])
+                        retired = True
                     survivors = rows[~has_silent].tolist()
                     survivors.extend(int(j) for j in stretch_rows[~finished])
                 else:
@@ -325,41 +371,18 @@ class _LockstepRun:
             )
             for j in active_rows[finished]:
                 self.results[j] = self._retire(int(j), row_node[j])
+                retired = True
             remaining = active_rows[~finished]
             exhausted = driver.exhausted(remaining)
             for j in remaining[exhausted]:
                 self.results[j] = self._retire(int(j), row_node[j])
+                retired = True
             alive = remaining[~exhausted].tolist()
-            if early_stop is not None and self._quorum_prefix_reached(early_stop):
-                break
+            if retired and early_stop is not None and alive:
+                bound = quorum_abandon_bound(self.results, early_stop)
+                if bound is not None:
+                    alive = [j for j in alive if j < bound]
         return self.results  # type: ignore[return-value]
-
-    def _quorum_prefix_reached(self, early_stop: tuple) -> bool:
-        """Whether the finished row prefix satisfies the quorum stopping rule.
-
-        Extends the scanned prefix over newly finished rows in row order,
-        maintaining the decided-verdict counts, and applies the exact
-        ``collect_batch`` condition after each consumed row — so the engine
-        stops at precisely the position the sequential loop would have.
-        """
-        target, min_runs, runs = early_stop
-        results = self.results
-        counts = self._prefix_counts
-        while self._prefix < len(results) and results[self._prefix] is not None:
-            verdict = results[self._prefix].verdict
-            self._prefix += 1
-            if verdict is Verdict.ACCEPT or verdict is Verdict.REJECT:
-                counts[verdict] = counts.get(verdict, 0) + 1
-            if (
-                self._prefix >= min_runs
-                and self._prefix < runs
-                and (
-                    counts.get(Verdict.ACCEPT, 0) >= target
-                    or counts.get(Verdict.REJECT, 0) >= target
-                )
-            ):
-                return True
-        return False
 
     def _initial_counts(self) -> dict:
         raise NotImplementedError
@@ -798,13 +821,21 @@ VECTOR_BATCH = VectorizedBatchBackend()
 def resolve_batch_backend(workload) -> BatchBackend | None:
     """The batch backend of a workload, or ``None`` for the per-run loop.
 
-    The ladder mirrors ``resolve_backend``'s ``"auto"``: the vectorized
-    lockstep engine whenever the workload's per-run engine is count-level
-    (and numpy is importable), the sequential per-run loop otherwise.
-    Deterministic workloads never reach this resolver —
-    ``Workload.run_many`` handles them with the simulate-once-and-replicate
-    shortcut first, which no batch engine can beat.
+    The ladder mirrors ``resolve_backend``'s ``"auto"`` one level up: the
+    count-vector lockstep engine whenever the workload's per-run engine is
+    count-level, else the per-node lockstep engine
+    (:mod:`repro.core.vector_pernode`) whenever the per-run engine is the
+    compiled per-node one (non-clique machine instances, shipped compiled
+    workloads), else the sequential per-run loop (``None``; also the answer
+    whenever numpy is unavailable).  Deterministic workloads never reach
+    this resolver — ``Workload.run_many`` handles them with the
+    simulate-once-and-replicate shortcut first, which no batch engine can
+    beat.
     """
     if VECTOR_BATCH.supports(workload):
         return VECTOR_BATCH
+    from repro.core.vector_pernode import VECTOR_PERNODE
+
+    if VECTOR_PERNODE.supports(workload):
+        return VECTOR_PERNODE
     return None

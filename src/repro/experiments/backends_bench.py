@@ -214,6 +214,64 @@ def batch_throughput(
     return entries
 
 
+def pernode_batch_throughput(
+    ab: Alphabet,
+    n: int,
+    a_count: int,
+    max_steps: int,
+    batch_sizes: tuple[int, ...],
+    base_seed: int = 13,
+) -> list[dict]:
+    """Sequential vs lockstep per-node ``run_many`` throughput, non-clique.
+
+    The count-level batch engine is ineligible off the clique, so this is
+    the lockstep per-node engine's benchmark: the cycle majority instance of
+    the ``pernode`` section (contiguous label blocks freeze immediately, so
+    every row runs the full step budget and the wall-time ratio is a clean
+    per-step throughput comparison), run as ``B``-seed batches through
+    ``run_many`` vs ``run_many_sequential``.  Entry schema matches
+    :func:`batch_throughput`, with the equality of the two batches recorded
+    as ``identical_batches`` — the bit-identity differential check riding
+    along with every benchmark run.
+    """
+    from repro.workloads import EngineOptions, MachineWorkload
+
+    machine = local_majority_machine(ab, n)
+    labels = ["a"] * a_count + ["b"] * (n - a_count)
+    workload = MachineWorkload(
+        machine=machine,
+        graph=cycle_graph(ab, labels, name=f"cycle-{n}"),
+        options=EngineOptions(max_steps=max_steps, stability_window=10**9),
+    )
+    entries: list[dict] = []
+    for runs in batch_sizes:
+        start = time.perf_counter()
+        vectorized = workload.run_many(runs=runs, base_seed=base_seed)
+        vectorized_time = time.perf_counter() - start
+        start = time.perf_counter()
+        sequential = workload.run_many_sequential(runs=runs, base_seed=base_seed)
+        sequential_time = time.perf_counter() - start
+        entries.append(
+            {
+                "section": "batch",
+                "name": f"batch-cycle-majority-B{runs}",
+                "scenario": "cycle-majority",
+                "graph": "cycle",
+                "n": n,
+                "steps": max_steps,
+                "runs": runs,
+                "identical_batches": vectorized == sequential,
+                "consensus": vectorized.consensus.value,
+                "sequential_time": sequential_time,
+                "vectorized_time": vectorized_time,
+                "sequential_runs_per_sec": runs / max(sequential_time, 1e-9),
+                "vectorized_runs_per_sec": runs / max(vectorized_time, 1e-9),
+                "speedup": sequential_time / max(vectorized_time, 1e-9),
+            }
+        )
+    return entries
+
+
 def population_count_engine_stats(ab: Alphabet, agents: int, seed: int = 3) -> dict:
     """The population-protocol count engine on a large threshold instance."""
     from repro.population import threshold_protocol
@@ -242,14 +300,16 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
              pn_n=600, pn_a=330, pn_steps=6_000, pn_sizes=(600, 2_400),
              pn_ref_steps=1_500,
              batch_machine={"a": 600, "b": 120},
-             batch_population={"a": 60, "b": 40, "k": 3})
+             batch_population={"a": 60, "b": 40, "k": 3},
+             pb_steps=2_000, pb_sizes=(64, 512))
         if quick
         else dict(n=10_000, a_count=5_500, per_node_budget=800, count_max_steps=400_000,
                   e2e_n=600, e2e_a=330, agents=10_000,
                   pn_n=2_000, pn_a=1_100, pn_steps=20_000, pn_sizes=(2_000, 8_000),
                   pn_ref_steps=4_000,
                   batch_machine={"a": 3_000, "b": 600},
-                  batch_population={"a": 60, "b": 40, "k": 3})
+                  batch_population={"a": 60, "b": 40, "k": 3},
+                  pb_steps=8_000, pb_sizes=(64, 512))
     )
     entries: list[dict] = []
     stats = compare_backends(
@@ -296,6 +356,13 @@ def backend_scaling_entries(quick: bool = False) -> list[dict]:
             scale["batch_population"],
             {"max_steps": 200_000},
             (32, 256, 2048),
+        )
+    )
+    # Non-clique series: the lockstep per-node batch engine on the n=2000
+    # cycle majority instance (acceptance bar: >= 3x runs/sec at B >= 512).
+    entries.extend(
+        pernode_batch_throughput(
+            ab, 2_000, 1_100, scale["pb_steps"], scale["pb_sizes"]
         )
     )
     return entries

@@ -37,11 +37,14 @@ engine (:mod:`repro.core.vector_batch`) the chunk executes them as ONE
 lockstep task instead of a per-task loop — identical records (the engine is
 bit-identical to per-run execution, so verdicts/steps/expected are
 unchanged; only ``wall_time``, which is never compared, becomes the
-per-group mean).  The grouped path is skipped whenever a per-task timeout is
-requested (the ``SIGALRM`` budget is a per-*task* contract) and falls back
-to per-task execution on any error, keeping failure isolation intact.
-``BATCH_DISPATCH`` is a module-level switch the regression tests flip to
-prove the records are the same either way.
+per-group mean).  A per-task ``task_timeout`` keeps the grouped path: the
+chunk applies the budget at batch granularity — ``task_timeout`` scaled by
+the group size, the same total wall-clock the per-task path would allow —
+and a group that exceeds it (or fails for any other reason) falls back to
+per-task execution with individual timeouts, keeping both the per-task
+budget contract and failure isolation intact.  ``BATCH_DISPATCH`` is a
+module-level switch the regression tests flip to prove the records are the
+same either way.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -68,17 +72,40 @@ class TaskTimeout(Exception):
     """Raised inside a worker when a task exceeds its wall-clock budget."""
 
 
+#: One-shot flag: warn about a requested-but-unsupported timeout only once
+#: per process, not once per task in a thousand-task sweep.
+_ALARM_UNSUPPORTED_WARNED = False
+
+
 class _Alarm:
-    """Per-task wall-clock budget via ``SIGALRM`` (POSIX main thread only)."""
+    """Per-task wall-clock budget via ``SIGALRM`` (POSIX main thread only).
+
+    On platforms without ``signal.SIGALRM`` / ``signal.setitimer`` (Windows),
+    a requested budget degrades to *no timeout* with a one-shot
+    :class:`RuntimeWarning` instead of crashing the sweep with an
+    ``AttributeError`` at the first task.
+    """
 
     def __init__(self, seconds: float | None):
         self.seconds = seconds
+        wanted = seconds is not None and seconds > 0
+        supported = hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
         self.active = (
-            seconds is not None
-            and seconds > 0
-            and hasattr(signal, "setitimer")
+            wanted
+            and supported
             and threading.current_thread() is threading.main_thread()
         )
+        if wanted and not supported:
+            global _ALARM_UNSUPPORTED_WARNED
+            if not _ALARM_UNSUPPORTED_WARNED:
+                _ALARM_UNSUPPORTED_WARNED = True
+                warnings.warn(
+                    "task_timeout requested but this platform has no "
+                    "signal.SIGALRM interval timer; tasks run without a "
+                    "wall-clock budget",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def __enter__(self):
         if self.active:
@@ -156,39 +183,46 @@ def _batch_key(task: dict) -> tuple:
     )
 
 
-def _run_batched(tasks: list[dict], cache: dict) -> list[dict] | None:
+def _run_batched(
+    tasks: list[dict], cache: dict, task_timeout: float | None = None
+) -> list[dict] | None:
     """Execute a same-point task group as one lockstep batch, or ``None``.
 
     Returns one record per task (aligned with ``tasks``) when the group's
     workload is batch-vectorizable, and ``None`` otherwise — including on
     *any* error, so a broken point falls back to the per-task path and keeps
-    its per-task failure records.
+    its per-task failure records.  ``task_timeout`` is enforced at chunk
+    granularity, scaled by the group size (the same total budget the
+    per-task path would spend); a group that exceeds it returns ``None`` and
+    the per-task fallback re-runs each task under its individual budget.
     """
     from repro.core.vector_batch import resolve_batch_backend
 
     first = tasks[0]
+    budget = None if task_timeout is None else task_timeout * len(tasks)
     start = time.perf_counter()
     try:
-        key = _task_key(first)
-        workload = cache.get(key)
-        if workload is None:
-            workload = build_workload(_task_spec(first))
-            cache[key] = workload
-        runner = workload.with_options(
-            max_steps=first["max_steps"],
-            stability_window=first["stability_window"],
-            backend=first["backend"],
-        )
-        backend = resolve_batch_backend(runner)
-        if backend is None:
-            return None
-        # Records keep only verdict/steps, so skip building the O(n) final
-        # configuration of every row.
-        results = backend.run_rows(
-            runner,
-            [task["seed"] for task in tasks],
-            materialise_configurations=False,
-        )
+        with _Alarm(budget):
+            key = _task_key(first)
+            workload = cache.get(key)
+            if workload is None:
+                workload = build_workload(_task_spec(first))
+                cache[key] = workload
+            runner = workload.with_options(
+                max_steps=first["max_steps"],
+                stability_window=first["stability_window"],
+                backend=first["backend"],
+            )
+            backend = resolve_batch_backend(runner)
+            if backend is None:
+                return None
+            # Records keep only verdict/steps, so skip building the O(n)
+            # final configuration of every row.
+            results = backend.run_rows(
+                runner,
+                [task["seed"] for task in tasks],
+                materialise_configurations=False,
+            )
     except Exception:  # noqa: BLE001 - the per-task path records the failure
         return None
     wall = round((time.perf_counter() - start) / len(tasks), 6)
@@ -225,14 +259,16 @@ def _run_chunk(
     """
     cache: dict = dict(shipped) if shipped else {}
     records: list[dict | None] = [None] * len(tasks)
-    if BATCH_DISPATCH and task_timeout is None:
+    if BATCH_DISPATCH:
         groups: dict[tuple, list[int]] = {}
         for position, task in enumerate(tasks):
             groups.setdefault(_batch_key(task), []).append(position)
         for positions in groups.values():
             if len(positions) < 2:
                 continue
-            batched = _run_batched([tasks[position] for position in positions], cache)
+            batched = _run_batched(
+                [tasks[position] for position in positions], cache, task_timeout
+            )
             if batched is None:
                 continue
             for position, record in zip(positions, batched):

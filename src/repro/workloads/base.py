@@ -88,10 +88,12 @@ class Workload:
         — though the argument is still validated so a bad quorum fails
         identically everywhere.
 
-        Count-eligible workloads are executed by the vectorized batch
-        engine (all seeds in lockstep, see :mod:`repro.core.vector_batch`);
-        the result is byte-identical to :meth:`run_many_sequential` — this
-        is a performance dispatch, never a semantic one.
+        Batch-eligible workloads are executed by a vectorized batch engine
+        (all seeds in lockstep): count-eligible clique instances by
+        :mod:`repro.core.vector_batch`, compiled per-node instances — the
+        non-clique graphs — by :mod:`repro.core.vector_pernode`.  Either
+        way the result is byte-identical to :meth:`run_many_sequential` —
+        this is a performance dispatch, never a semantic one.
         """
         if runs < 1:
             raise ValueError("a batch needs at least one run")

@@ -8,13 +8,32 @@ but each one announces its replacement with a :class:`DeprecationWarning` —
 not drowned in repeats while the first use is still flagged even under
 ``-W always`` / pytest warning capture (the stdlib per-call-site registry
 would re-emit under those).
+
+A second, finer-grained mechanism lives next to it:
+:func:`warn_once_per_key` deduplicates by an explicit *(label, identity)*
+key instead of the stdlib's per-call-site ``(text, category, lineno)``
+registry.  The stdlib registry swallows any warning whose rendered message
+repeats — so two distinct specs that happen to format the same advisory
+would warn only once per long-lived worker process.  Keying by spec identity
+makes each distinct spec warn exactly once under the default filter, while
+still honouring ``always`` / ``ignore`` / ``error`` filters (the dedup is a
+per-key ``warn_explicit`` registry, not a hard set, so pytest's warning
+capture and ``simplefilter`` behave exactly as they do for plain
+``warnings.warn``).
 """
 
 from __future__ import annotations
 
+import sys
 import warnings
 
 _emitted: set[str] = set()
+
+#: One ``warn_explicit`` registry per dedup key.  The registries inherit the
+#: stdlib semantics wholesale: the ``default`` action emits once per key,
+#: ``always`` re-emits, ``ignore`` suppresses without consuming the key, and
+#: every ``catch_warnings`` block resets them via the filters version.
+_keyed_registries: dict[object, dict] = {}
 
 
 def warn_once(shim: str, replacement: str) -> None:
@@ -30,6 +49,38 @@ def warn_once(shim: str, replacement: str) -> None:
     )
 
 
+def warn_once_per_key(
+    key: object,
+    message: str,
+    category: type[Warning] = UserWarning,
+    stacklevel: int = 1,
+) -> None:
+    """Warn with dedup keyed by ``key`` instead of the stdlib call-site registry.
+
+    ``key`` should be a hashable *(label, identity)* pair — e.g.
+    ``("rendezvous-window", spec.key())`` — so that *distinct* identities each
+    warn once per process while repeats of the *same* identity stay quiet.
+    Filter semantics match ``warnings.warn``: ``always`` re-emits every call,
+    ``ignore`` stays silent (without marking the key as emitted), ``error``
+    raises, and entering a ``catch_warnings`` block resets the dedup state,
+    so tests observe the warning regardless of what warned earlier.
+
+    ``stacklevel`` selects the frame reported as the warning's location,
+    counted exactly like ``warnings.warn`` (``1`` = the caller).
+    """
+    frame = sys._getframe(stacklevel)
+    registry = _keyed_registries.setdefault(key, {})
+    warnings.warn_explicit(
+        message,
+        category,
+        filename=frame.f_code.co_filename,
+        lineno=frame.f_lineno,
+        module=frame.f_globals.get("__name__", "<unknown>"),
+        registry=registry,
+    )
+
+
 def reset_deprecation_warnings() -> None:
-    """Forget which shims have warned (test support)."""
+    """Forget which shims and keys have warned (test support)."""
     _emitted.clear()
+    _keyed_registries.clear()

@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from repro.workloads.compat import warn_once_per_key
 from repro.workloads.registry import get_scenario, validated_params
 
 _ENGINE_FIELDS = {
@@ -162,7 +162,13 @@ class InstanceSpec:
                 f"other schedule semantics"
             )
         if kind == "rendezvous" and self.engine.stability_window < RENDEZVOUS_MIN_WINDOW:
-            warnings.warn(
+            # Dedup by spec identity, not by the stdlib call-site registry:
+            # two distinct narrow-window specs format byte-identical advisories
+            # once the scenario and window coincide, and even when they differ
+            # the warning must survive a long-lived worker that already warned
+            # for another spec.  See repro.workloads.compat.warn_once_per_key.
+            warn_once_per_key(
+                ("rendezvous-window", self.key()),
                 f"rendezvous scenario {self.scenario!r} with "
                 f"stability_window={self.engine.stability_window}: the Figure 4 "
                 f"handshake has transient consensus stretches that outlast "

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -398,13 +399,104 @@ class TestBatchDispatch:
             parallel_store.load(spec)
         )
 
-    def test_task_timeout_disables_grouping_but_not_results(self, tmp_path):
+    def test_task_timeout_keeps_batched_dispatch(self, tmp_path, monkeypatch):
+        """A timeout no longer kicks eligible groups off the vectorized path:
+        the budget is enforced at chunk granularity (scaled by group size)
+        and the stored records stay identical to the untimed run."""
+        import repro.experiments.executor as executor_module
+
+        calls = []
+        real = executor_module._run_batched
+
+        def spy(tasks, cache, task_timeout=None):
+            records = real(tasks, cache, task_timeout)
+            calls.append((task_timeout, records is not None))
+            return records
+
+        monkeypatch.setattr(executor_module, "_run_batched", spy)
         spec = self.batch_spec()
         timed_store = ResultStore(tmp_path / "timed")
         timed = run_spec(spec, timed_store, workers=1, task_timeout=60.0)
+        assert any(ok and timeout == 60.0 for timeout, ok in calls), (
+            "no same-point group took the vectorized path under task_timeout"
+        )
         plain_store = ResultStore(tmp_path / "plain")
         plain = run_spec(spec, plain_store, workers=1)
         assert timed.ok == plain.ok == len(spec.expand())
         assert self.stripped(timed_store.load(spec)) == self.stripped(
             plain_store.load(spec)
         )
+
+    @pytest.mark.skipif(
+        not hasattr(__import__("signal"), "SIGALRM"),
+        reason="chunk budget needs SIGALRM",
+    )
+    def test_chunk_timeout_falls_back_to_per_task(self, monkeypatch):
+        """A group that blows its scaled chunk budget is abandoned (returns
+        ``None``) and the per-task fallback re-runs every task under its own
+        individual alarm, so no result is lost."""
+        import time as time_module
+
+        import repro.core.vector_batch as vector_batch_module
+        import repro.experiments.executor as executor_module
+
+        class StalledBackend:
+            def run_rows(self, runner, seeds, **kwargs):
+                time_module.sleep(600)  # interrupted by the chunk alarm
+
+        monkeypatch.setattr(
+            vector_batch_module,
+            "resolve_batch_backend",
+            lambda workload: StalledBackend(),
+        )
+        tasks = [
+            {
+                "task_id": f"clique-majority:0:{run}",
+                "point_index": 0,
+                "scenario": "clique-majority",
+                "params": {"a": 8, "b": 4},
+                "run_index": run,
+                "seed": 100 + run,
+                "backend": "auto",
+                "max_steps": 2_000,
+                "stability_window": 100,
+            }
+            for run in range(4)
+        ]
+        start = time_module.perf_counter()
+        records = executor_module._run_chunk(tasks, task_timeout=0.1, shipped=None)
+        elapsed = time_module.perf_counter() - start
+        assert [r["status"] for r in records] == ["ok"] * len(tasks)
+        # The stalled batch was cut off at the scaled budget (0.1s x 4), not
+        # after the full 600s sleep.
+        assert elapsed < 60
+
+
+class TestAlarmPlatformSupport:
+    """``_Alarm`` must degrade, not crash, where SIGALRM does not exist."""
+
+    def test_missing_sigalrm_degrades_with_one_shot_warning(self, monkeypatch):
+        import repro.experiments.executor as executor_module
+
+        monkeypatch.delattr(executor_module.signal, "SIGALRM", raising=False)
+        monkeypatch.setattr(executor_module, "_ALARM_UNSUPPORTED_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="no signal.SIGALRM"):
+            alarm = executor_module._Alarm(5.0)
+        assert not alarm.active
+        with alarm:
+            pass  # enters and exits without touching signal APIs
+        # The warning is one-shot per process, not once per task.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = executor_module._Alarm(5.0)
+        assert not again.active
+
+    def test_no_timeout_requested_never_warns(self, monkeypatch):
+        import repro.experiments.executor as executor_module
+
+        monkeypatch.delattr(executor_module.signal, "SIGALRM", raising=False)
+        monkeypatch.setattr(executor_module, "_ALARM_UNSUPPORTED_WARNED", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            alarm = executor_module._Alarm(None)
+        assert not alarm.active

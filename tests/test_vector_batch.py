@@ -76,14 +76,10 @@ class TestEligibility:
     @pytest.mark.parametrize(
         "name,params,engine",
         [
-            # Non-clique graphs stay on the per-node engines.
-            ("exists-label", {"a": 1, "b": 4, "graph": "cycle"}, {}),
-            ("rendezvous-parity", {"a": 3, "b": 2}, {"stability_window": 2000}),
-            # A 5-node cycle (3-node cycles are cliques and stay eligible).
-            ("absence-probe", {"a": 1, "b": 4}, {}),
             # Trace recording and explicit per-run backends keep their path.
             ("clique-majority", {"a": 6, "b": 3}, {"backend": "per-node"}),
             ("exists-label", {"a": 1, "b": 4, "graph": "clique"}, {"record_trace": True}),
+            ("exists-label", {"a": 1, "b": 4, "graph": "cycle"}, {"record_trace": True}),
             # The agents method has per-agent (not count-level) dynamics.
             ("population-majority", {"a": 6, "b": 3}, {"backend": "agents"}),
             # Synchronous schedules take the deterministic-replication path.
@@ -92,6 +88,23 @@ class TestEligibility:
     )
     def test_ineligible_falls_back(self, name, params, engine):
         assert resolve_batch_backend(_workload(name, params, engine)) is None
+
+    @pytest.mark.parametrize(
+        "name,params,engine",
+        [
+            # Non-clique graphs land on the per-node lockstep rung, one rung
+            # below the count engine (a 5-node cycle for absence-probe;
+            # 3-node cycles are cliques and stay on the count engine).
+            ("exists-label", {"a": 1, "b": 4, "graph": "cycle"}, {}),
+            ("rendezvous-parity", {"a": 3, "b": 2}, {"stability_window": 2000}),
+            ("absence-probe", {"a": 1, "b": 4}, {}),
+        ],
+    )
+    def test_non_clique_resolves_to_pernode_rung(self, name, params, engine):
+        from repro.core.vector_pernode import VECTOR_PERNODE
+
+        backend = resolve_batch_backend(_workload(name, params, engine))
+        assert backend is VECTOR_PERNODE
 
     def test_schedule_factory_and_backend_override_fall_back(self):
         from repro.core.backends import COUNT_BACKEND

@@ -140,6 +140,63 @@ class TestSpecGuards:
             warnings.simplefilter("error", SpecValidationWarning)
             InstanceSpec("exists-label", engine=EngineOptions(stability_window=50))
 
+    def test_distinct_rendezvous_specs_each_warn_once(self):
+        # The guard dedups per spec identity (scenario + params + window),
+        # not once per process: three distinct narrow-window specs are three
+        # distinct footguns, each reported exactly once.
+        reset_deprecation_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("default", SpecValidationWarning)
+                specs = [
+                    ("rendezvous-parity", 600),
+                    ("rendezvous-majority", 600),
+                    ("rendezvous-parity", 700),
+                ]
+                for name, window in specs:
+                    for _ in range(2):  # the repeat must stay silent
+                        InstanceSpec(
+                            name, engine=EngineOptions(stability_window=window)
+                        )
+            guard = [
+                w for w in caught if issubclass(w.category, SpecValidationWarning)
+            ]
+            assert len(guard) == len(specs)
+        finally:
+            reset_deprecation_warnings()
+
+    def test_rendezvous_warning_reset_restores_the_guard(self):
+        reset_deprecation_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("default", SpecValidationWarning)
+                spec = InstanceSpec(
+                    "rendezvous-parity", engine=EngineOptions(stability_window=600)
+                )
+                InstanceSpec(spec.scenario, engine=spec.engine)
+                assert len(caught) == 1
+                reset_deprecation_warnings()
+                InstanceSpec(spec.scenario, engine=spec.engine)
+            assert len(caught) == 2
+        finally:
+            reset_deprecation_warnings()
+
+    def test_rendezvous_warning_respects_always_filter(self):
+        # warn_once_per_key defers to the stdlib filters: under "always" the
+        # repeat is re-emitted (the registry only applies to "default").
+        reset_deprecation_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", SpecValidationWarning)
+                for _ in range(2):
+                    InstanceSpec(
+                        "rendezvous-parity",
+                        engine=EngineOptions(stability_window=600),
+                    )
+            assert len(caught) == 2
+        finally:
+            reset_deprecation_warnings()
+
     def test_multi_probe_with_markers_rejected(self):
         with pytest.raises(ValueError, match="interfere"):
             spec_of("absence-probe", {"a": 2, "b": 1})
