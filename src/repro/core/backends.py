@@ -86,6 +86,7 @@ from repro.core.scheduler import (
     weighted_index,
 )
 from repro.core.streaks import ConsensusStreakDriver
+from repro.obs.metrics import get_metrics
 
 
 class BackendUnsupported(RuntimeError):
@@ -191,6 +192,10 @@ class PerNodeBackend(SimulationBackend):
             if quiet_streak >= stability_window and current is not None:
                 stabilised_at = step
                 break
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.runs", engine="per-node").inc()
+            metrics.counter("engine.steps", engine="per-node").inc(step)
         final_value = consensus_value(machine, configuration)
         return _result(final_value, step, configuration, stabilised_at, trace)
 
@@ -342,6 +347,11 @@ class _CountRun:
         # key, so the cache would grow with the trajectory and never hit.
         self._memoise = machine.beta < n - 1
         self._delta_cache: dict[tuple[State, Neighborhood], State] = {}
+        # Telemetry accumulators: plain ints on the hot path, flushed once
+        # into the metrics registry by _finish (only when metrics are on).
+        self._hits = 0
+        self._misses = 0
+        self._silent_skipped = 0
 
     def _consensus(self) -> bool | None:
         return consensus_of_counts(self.machine, self.counts)
@@ -357,8 +367,11 @@ class _CountRun:
         key = (state, view)
         cached = self._delta_cache.get(key, _MISS)
         if cached is _MISS:
+            self._misses += 1
             cached = self.machine.step(state, view)
             self._delta_cache[key] = cached
+        else:
+            self._hits += 1
         return cached
 
     def _movers(self) -> list[tuple[State, State, int]]:
@@ -387,8 +400,10 @@ class _CountRun:
                 driver.finish_at_fixed_point(self._consensus())
                 break
             silent = geometric_silent_steps(rng, active_mass / n)
-            if silent and driver.advance_silent(silent, self._consensus()):
-                break
+            if silent:
+                self._silent_skipped += silent
+                if driver.advance_silent(silent, self._consensus()):
+                    break
             # The active step: pick a mover state weighted by its count.
             state, nxt, _ = movers[
                 weighted_index(rng, [count for _, _, count in movers], active_mass)
@@ -421,6 +436,18 @@ class _CountRun:
         return self._finish(driver)
 
     def _finish(self, driver: ConsensusStreakDriver) -> RunResult:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.runs", engine="count").inc()
+            metrics.counter("engine.steps", engine="count").inc(driver.step)
+            if self._silent_skipped:
+                metrics.counter(
+                    "engine.silent_steps_skipped", engine="count"
+                ).inc(self._silent_skipped)
+            if self._hits:
+                metrics.counter("memo.hits", table="count-delta").inc(self._hits)
+            if self._misses:
+                metrics.counter("memo.misses", table="count-delta").inc(self._misses)
         final_value = self._consensus()
         configuration = configuration_from_counts(self.counts)
         return _result(

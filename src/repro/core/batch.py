@@ -31,6 +31,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.results import RunResult, Verdict
+from repro.obs.metrics import get_metrics
 
 try:  # numpy accelerates percentile aggregation; the fallback is pure python
     import numpy as _np
@@ -190,6 +191,11 @@ def collect_batch(
         ):
             stopped_early = True
             break
+    if stopped_early:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("batch.quorum_stops").inc()
+            metrics.counter("batch.runs_skipped_by_quorum").inc(runs - len(verdicts))
     return BatchResult(
         verdicts=verdicts,
         steps=steps,

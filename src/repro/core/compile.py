@@ -43,6 +43,8 @@ from typing import TYPE_CHECKING
 
 from repro.core.machine import DistributedMachine, Neighborhood, State
 from repro.core.results import RunResult, Verdict
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.configuration import Configuration
@@ -221,6 +223,10 @@ class CompiledMachine:
             if self.memo_cap is None or self._entries < self.memo_cap:
                 row[view_key] = nxt
                 self._entries += 1
+            else:
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("memo.evictions", table="compiled").inc()
         return nxt
 
     # ------------------------------------------------------------------ #
@@ -239,13 +245,27 @@ class CompiledMachine:
         """Fold one run's lookup counts into the lifetime statistics.
 
         The engines keep per-run counters in locals (the hit path is inlined
-        in their hot loops) and flush them here once per run.
+        in their hot loops) and flush them here once per run.  The same
+        counts are mirrored into the process-wide metrics registry
+        (``memo.hits{table=compiled}`` / ``memo.misses{table=compiled}``)
+        when observability is enabled, so per-machine ``stats()`` and the
+        sweep-wide ``repro stats`` report agree by construction.
         """
         self.hits += hits
         self.misses += misses
+        metrics = get_metrics()
+        if metrics.enabled:
+            if hits:
+                metrics.counter("memo.hits", table="compiled").inc(hits)
+            if misses:
+                metrics.counter("memo.misses", table="compiled").inc(misses)
 
     def stats(self) -> dict:
-        """Memo-table health: size, cap, and the lifetime hit rate."""
+        """Memo-table health: a thin snapshot view over the flushed counters.
+
+        ``hit_rate`` is ``None`` (never a ``ZeroDivisionError``) before the
+        first lookup is recorded.
+        """
         lookups = self.hits + self.misses
         return {
             "table_entries": self.table_size,
@@ -281,7 +301,8 @@ def compile_machine(
     """
     compiled = getattr(machine, _CACHE_ATTR, None)
     if compiled is None:
-        compiled = CompiledMachine(machine, loader=loader, memo_cap=memo_cap)
+        with span("compile", machine=machine.name):
+            compiled = CompiledMachine(machine, loader=loader, memo_cap=memo_cap)
         machine.__dict__[_CACHE_ATTR] = compiled
     else:
         if loader is not None and compiled.loader is None:
@@ -408,6 +429,10 @@ def run_compiled(
             break
 
     compiled.record_lookups(hits, misses)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("engine.runs", engine="compiled").inc()
+        metrics.counter("engine.steps", engine="compiled").inc(step)
     final_value = True if num_acc == n else False if num_rej == n else None
     if final_value is not None:
         verdict = Verdict.ACCEPT if final_value else Verdict.REJECT

@@ -78,6 +78,8 @@ from repro.core.machine import Neighborhood
 from repro.core.results import RunResult, Verdict
 from repro.core.scheduler import RandomExclusiveSchedule
 from repro.core.streaks import ArrayStreakDriver
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import trace_event
 
 try:  # numpy carries the count matrix; without it batches fall back to the loop
     import numpy as _np
@@ -201,6 +203,9 @@ class _LockstepRun:
     randomness, so the cap is invisible in the results.
     """
 
+    #: Engine label used for the registry flush (``engine.runs{engine=...}``).
+    engine = "vector-batch"
+
     def __init__(self, window: int, max_steps: int, memo_cap: int | None = None):
         self.window = window
         self.max_steps = max_steps
@@ -209,6 +214,14 @@ class _LockstepRun:
         self._index: dict = {}
         self._nodes: dict = {}
         self._node_cached = True  # whether the last _node_for hit/stored the cache
+        # Telemetry accumulators: plain ints on the hot path, flushed once
+        # into the metrics registry at the end of run() (only when enabled).
+        self._node_hits = 0
+        self._node_misses = 0
+        self._node_evictions = 0
+        self._delta_hits = 0
+        self._delta_misses = 0
+        self._delta_evictions = 0
 
     # -- state interning ------------------------------------------------- #
     def _intern(self, state) -> int:
@@ -225,13 +238,16 @@ class _LockstepRun:
         node = self._nodes.get(key)
         if node is not None:
             self._node_cached = True
+            self._node_hits += 1
             return node
+        self._node_misses += 1
         node = self._build_node(counts)
         if self.memo_cap is None or len(self._nodes) < self.memo_cap:
             self._nodes[key] = node
             self._node_cached = True
         else:
             self._node_cached = False
+            self._node_evictions += 1
         return node
 
     def _successor(self, node: _Node, index: int) -> _Node:
@@ -299,6 +315,9 @@ class _LockstepRun:
         alive = list(range(batch))
         driver = self.driver
         row_node = self.row_node
+        # Retirement-reason tally (plain ints; flushed once when metrics on).
+        track = get_metrics().enabled
+        stabilised_rows = fixed_rows_total = exhausted_rows = silent_total = 0
         while alive:
             retired = False
             fixed_rows: list[int] = []
@@ -317,8 +336,11 @@ class _LockstepRun:
                 live_rows.append(j)
                 silent_values.append(silent)
                 live_codes.append(node.consensus_code)
+            if track and silent_values:
+                silent_total += sum(silent_values)
             if fixed_rows:
                 self._finish_fixed(fixed_rows, [row_node[j] for j in fixed_rows])
+                fixed_rows_total += len(fixed_rows)
                 retired = True
             survivors: list[int] = []
             if live_rows:
@@ -334,6 +356,7 @@ class _LockstepRun:
                     )
                     for j in stretch_rows[finished]:
                         self.results[j] = self._retire(int(j), row_node[j])
+                        stabilised_rows += 1
                         retired = True
                     survivors = rows[~has_silent].tolist()
                     survivors.extend(int(j) for j in stretch_rows[~finished])
@@ -371,17 +394,48 @@ class _LockstepRun:
             )
             for j in active_rows[finished]:
                 self.results[j] = self._retire(int(j), row_node[j])
+                stabilised_rows += 1
                 retired = True
             remaining = active_rows[~finished]
             exhausted = driver.exhausted(remaining)
             for j in remaining[exhausted]:
                 self.results[j] = self._retire(int(j), row_node[j])
+                exhausted_rows += 1
                 retired = True
             alive = remaining[~exhausted].tolist()
             if retired and early_stop is not None and alive:
                 bound = quorum_abandon_bound(self.results, early_stop)
                 if bound is not None:
                     alive = [j for j in alive if j < bound]
+        metrics = get_metrics()
+        if metrics.enabled:
+            abandoned = sum(1 for result in self.results if result is None)
+            metrics.counter("engine.runs", engine=self.engine).inc(batch - abandoned)
+            metrics.counter("engine.steps", engine=self.engine).inc(
+                int(driver.step.sum())
+            )
+            if silent_total:
+                metrics.counter(
+                    "engine.silent_steps_skipped", engine=self.engine
+                ).inc(silent_total)
+            for reason, count in (
+                ("stabilised", stabilised_rows),
+                ("fixed-point", fixed_rows_total),
+                ("exhausted", exhausted_rows),
+                ("quorum-abandoned", abandoned),
+            ):
+                if count:
+                    metrics.counter("batch.rows_retired", reason=reason).inc(count)
+            for table, hits, misses, evictions in (
+                ("batch-node", self._node_hits, self._node_misses, self._node_evictions),
+                ("batch-delta", self._delta_hits, self._delta_misses, self._delta_evictions),
+            ):
+                if hits:
+                    metrics.counter("memo.hits", table=table).inc(hits)
+                if misses:
+                    metrics.counter("memo.misses", table=table).inc(misses)
+                if evictions:
+                    metrics.counter("memo.evictions", table=table).inc(evictions)
         return self.results  # type: ignore[return-value]
 
     def _initial_counts(self) -> dict:
@@ -447,9 +501,14 @@ class _MachineLockstep(_LockstepRun):
                 key = (state, view)
                 nxt = delta_cache.get(key, _MISS)
                 if nxt is _MISS:
+                    self._delta_misses += 1
                     nxt = machine.step(state, view)
                     if memo_cap is None or len(delta_cache) < memo_cap:
                         delta_cache[key] = nxt
+                    else:
+                        self._delta_evictions += 1
+                else:
+                    self._delta_hits += 1
             else:
                 nxt = machine.step(state, view)
             if nxt != state:
@@ -724,44 +783,53 @@ class VectorizedBatchBackend(BatchBackend):
         return self._plan(workload) is not None
 
     def _plan(self, workload):
-        """The lockstep constructor for a workload, or ``None`` if ineligible.
+        """The lockstep constructor for a workload, or ``None`` if ineligible."""
+        return self._plan_reason(workload)[0]
+
+    def _plan_reason(self, workload):
+        """``(lockstep constructor, None)``, or ``(None, reason)`` if ineligible.
 
         Eligibility is deliberately *exact-type* on the workload class (like
         the count backend's exact-type schedule rule): a subclass overriding
         ``run`` keeps its custom per-run semantics by falling back to the
-        sequential loop, which calls ``run`` verbatim.
+        sequential loop, which calls ``run`` verbatim.  The reason is a short
+        stable code — ``resolve_batch_backend`` reports it in the
+        ``batch-fallback`` trace event so silent fallbacks are visible.
         """
         if _np is None:
-            return None
+            return None, "numpy-missing"
         from repro.workloads.machine import MachineWorkload
         from repro.workloads.population import PopulationWorkload, _MACHINE_BACKENDS
 
         options = workload.options
         if type(workload) is MachineWorkload:
-            if (
-                workload.schedule_factory is not None
-                or workload.backend_override is not None
-                or options.record_trace
-                or options.schedule != "random-exclusive"
-                or options.backend not in ("auto", "count")
-                or not COUNT_BACKEND.supports(
-                    workload.machine, workload.graph, _PROBE_SCHEDULE
-                )
+            if workload.schedule_factory is not None:
+                return None, "schedule-factory"
+            if workload.backend_override is not None:
+                return None, "backend-override"
+            if options.record_trace:
+                return None, "record-trace"
+            if options.schedule != "random-exclusive":
+                return None, "schedule-kind"
+            if options.backend not in ("auto", "count"):
+                return None, "backend-kind"
+            if not COUNT_BACKEND.supports(
+                workload.machine, workload.graph, _PROBE_SCHEDULE
             ):
-                return None
-            return self._machine_lockstep
+                return None, "not-count-eligible"
+            return self._machine_lockstep, None
         if type(workload) is PopulationWorkload:
             method = (
                 "auto" if options.backend in _MACHINE_BACKENDS else options.backend
             )
-            if (
-                options.schedule != "random-exclusive"
-                or method not in ("auto", "counts")
-                or workload.count.total() < 2
-            ):
-                return None
-            return self._population_lockstep
-        return None
+            if options.schedule != "random-exclusive":
+                return None, "schedule-kind"
+            if method not in ("auto", "counts"):
+                return None, "method-kind"
+            if workload.count.total() < 2:
+                return None, "population-too-small"
+            return self._population_lockstep, None
+        return None, "workload-kind"
 
     def run_rows(
         self,
@@ -831,11 +899,36 @@ def resolve_batch_backend(workload) -> BatchBackend | None:
     this resolver — ``Workload.run_many`` handles them with the
     simulate-once-and-replicate shortcut first, which no batch engine can
     beat.
+
+    A fall-through to the sequential loop was previously invisible; it now
+    emits a one-line ``batch-fallback`` trace event carrying the per-rung
+    eligibility reason codes, and bumps
+    ``dispatch.fallback{reason=...}`` when metrics are enabled.
     """
-    if VECTOR_BATCH.supports(workload):
+    plan, count_reason = VECTOR_BATCH._plan_reason(workload)
+    if plan is not None:
         return VECTOR_BATCH
     from repro.core.vector_pernode import VECTOR_PERNODE
 
-    if VECTOR_PERNODE.supports(workload):
+    plan, pernode_reason = VECTOR_PERNODE._plan_reason(workload)
+    if plan is not None:
         return VECTOR_PERNODE
+    if count_reason == pernode_reason:
+        reason = count_reason
+    elif pernode_reason == "workload-kind":
+        reason = count_reason
+    elif count_reason == "workload-kind":
+        reason = pernode_reason
+    else:
+        reason = f"{count_reason}/{pernode_reason}"
+    trace_event(
+        "batch-fallback",
+        workload=type(workload).__name__,
+        reason=reason,
+        count=count_reason,
+        pernode=pernode_reason,
+    )
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("dispatch.fallback", reason=reason).inc()
     return None

@@ -71,6 +71,7 @@ from repro.core.results import RunResult, Verdict
 from repro.core.scheduler import RandomExclusiveSchedule
 from repro.core.streaks import ArrayStreakDriver
 from repro.core.vector_batch import BatchBackend, quorum_abandon_bound
+from repro.obs.metrics import get_metrics
 
 try:  # numpy carries the driver arrays; without it batches fall back to the loop
     import numpy as _np
@@ -116,6 +117,7 @@ class _PerNodeLockstep:
         # miss is a δ evaluation through step_id.  Flushed once per batch.
         self.hits = 0
         self.misses = 0
+        self.evictions = 0  # raw-view stores refused by the memo cap
 
     # ------------------------------------------------------------------ #
     def _next_state(self, row_states: list, v: int) -> int:
@@ -150,6 +152,8 @@ class _PerNodeLockstep:
         cap = compiled.memo_cap
         if cap is None or len(cache) < cap:
             cache[raw_key] = nxt
+        else:
+            self.evictions += 1
         return nxt
 
     def _initial_pending(self) -> list[int]:
@@ -244,6 +248,8 @@ class _PerNodeLockstep:
         record = driver.record_active
         max_steps = self.max_steps
         step = 0
+        # Retirement-reason tally (plain ints; flushed once when metrics on).
+        stabilised_rows = exhausted_rows = 0
         while alive_rows:
             step += 1
             for j, g, pj in alive_rows:
@@ -278,6 +284,7 @@ class _PerNodeLockstep:
                 for jj in alive_np[finished]:
                     j = int(jj)
                     results[j] = retire(j)
+                    stabilised_rows += 1
                 alive_np = alive_np[~finished]
             if step >= max_steps and alive_np.size:
                 # Every live row has taken exactly `step` steps, so the
@@ -287,6 +294,7 @@ class _PerNodeLockstep:
                 retired = True
                 for jj in alive_np:
                     results[int(jj)] = retire(int(jj))
+                    exhausted_rows += 1
                 alive_np = alive_np[:0]
             if retired:
                 if early_stop is not None and alive_np.size:
@@ -298,6 +306,27 @@ class _PerNodeLockstep:
         compiled.record_lookups(self.hits, self.misses)
         self.hits = 0
         self.misses = 0
+        metrics = get_metrics()
+        if metrics.enabled:
+            abandoned = sum(1 for result in results if result is None)
+            metrics.counter("engine.runs", engine="vector-pernode").inc(
+                batch - abandoned
+            )
+            metrics.counter("engine.steps", engine="vector-pernode").inc(
+                int(driver.step.sum())
+            )
+            for reason, count in (
+                ("stabilised", stabilised_rows),
+                ("exhausted", exhausted_rows),
+                ("quorum-abandoned", abandoned),
+            ):
+                if count:
+                    metrics.counter("batch.rows_retired", reason=reason).inc(count)
+            if self.evictions:
+                metrics.counter("memo.evictions", table="pernode-view").inc(
+                    self.evictions
+                )
+                self.evictions = 0
         return results  # type: ignore[return-value]
 
 
@@ -311,33 +340,40 @@ class VectorizedPerNodeBatchBackend(BatchBackend):
         return self._plan(workload) is not None
 
     def _plan(self, workload):
-        """The lockstep constructor for a workload, or ``None`` if ineligible.
+        """The lockstep constructor for a workload, or ``None`` if ineligible."""
+        return self._plan_reason(workload)[0]
 
-        Mirrors :meth:`VectorizedBatchBackend._plan`'s exact-type rule: a
-        subclass overriding ``run`` keeps its custom per-run semantics via
-        the sequential loop.  A :class:`MachineWorkload` qualifies when its
-        declarative backend resolution — probed with the same arguments
-        ``run_with_schedule`` would use — answers the compiled per-node
-        backend; any resolution error means the sequential loop would raise
-        it per run, so the workload is simply not claimed here.  A
+    def _plan_reason(self, workload):
+        """``(lockstep constructor, None)``, or ``(None, reason)`` if ineligible.
+
+        Mirrors :meth:`VectorizedBatchBackend._plan_reason`'s exact-type
+        rule: a subclass overriding ``run`` keeps its custom per-run
+        semantics via the sequential loop.  A :class:`MachineWorkload`
+        qualifies when its declarative backend resolution — probed with the
+        same arguments ``run_with_schedule`` would use — answers the
+        compiled per-node backend; any resolution error means the sequential
+        loop would raise it per run, so the workload is simply not claimed
+        here (reason ``"resolution-error"``).  A
         :class:`CompiledMachineWorkload` always qualifies: its ``run`` is
         ``run_compiled`` under a seeded random-exclusive schedule by
         construction.
         """
         if _np is None:
-            return None
+            return None, "numpy-missing"
         from repro.workloads.machine import CompiledMachineWorkload, MachineWorkload
 
         options = workload.options
         if type(workload) is MachineWorkload:
-            if (
-                workload.schedule_factory is not None
-                or workload.backend_override is not None
-                or options.record_trace
-                or options.schedule != "random-exclusive"
-                or workload.graph.num_nodes < 1
-            ):
-                return None
+            if workload.schedule_factory is not None:
+                return None, "schedule-factory"
+            if workload.backend_override is not None:
+                return None, "backend-override"
+            if options.record_trace:
+                return None, "record-trace"
+            if options.schedule != "random-exclusive":
+                return None, "schedule-kind"
+            if workload.graph.num_nodes < 1:
+                return None, "empty-graph"
             try:
                 backend = resolve_backend(
                     options.backend,
@@ -347,15 +383,15 @@ class VectorizedPerNodeBatchBackend(BatchBackend):
                     options.record_trace,
                 )
             except Exception:  # noqa: BLE001 - the per-run path raises it itself
-                return None
+                return None, "resolution-error"
             if backend is not COMPILED_BACKEND:
-                return None
-            return self._machine_lockstep
+                return None, "backend-not-compiled"
+            return self._machine_lockstep, None
         if type(workload) is CompiledMachineWorkload:
             if workload.graph.num_nodes < 1:
-                return None
-            return self._compiled_lockstep
-        return None
+                return None, "empty-graph"
+            return self._compiled_lockstep, None
+        return None, "workload-kind"
 
     def run_rows(
         self,

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands drive the experiment subsystem end to end:
+Six subcommands drive the experiment subsystem end to end:
 
 ``list-scenarios``
     Print the scenario registry (``--json`` for machine-readable output).
@@ -10,6 +10,11 @@ Five subcommands drive the experiment subsystem end to end:
 ``report SPEC.json``
     Aggregate the stored results of a spec into the per-point table and the
     per-scenario agreement reports.
+``stats RESULTS.jsonl | SPEC.json``
+    Fold a result file and its observability sidecars (``.trace.jsonl``
+    spans, ``.metrics.json`` counters — written when a sweep runs with
+    ``REPRO_METRICS=1``) into a performance report: per-rung run counts,
+    step throughput percentiles, cache hit rates, time in phase.
 ``bench``
     Regenerate the Figure-1-style sweep tables through the executor and
     write machine-readable perf artifacts (``BENCH_experiments.json`` and
@@ -162,6 +167,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import fold_stats, format_stats
+
+    target = Path(args.target)
+    if target.suffix == ".jsonl":
+        # A results file directly; the sidecars are found next to it.
+        results_path = target
+    else:
+        # A spec document: resolve its results file inside the store, exactly
+        # like `run` and `report` do — this form never collides with the
+        # `.trace.jsonl` sidecars a shell glob over the store would match.
+        spec = _load_spec(args.target)
+        results_path = ResultStore(args.store).results_path(spec)
+    if not results_path.exists():
+        print(f"error: no results file at {results_path}", file=sys.stderr)
+        return 1
+    stats = fold_stats(results_path)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(format_stats(stats))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.backends_bench import backend_scaling_entries
     from repro.experiments.benchjson import write_bench_json
@@ -288,6 +317,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--store", default="experiment-results", help="result store directory")
     p_report.add_argument("--json", action="store_true", help="machine-readable output")
     p_report.set_defaults(func=_cmd_report)
+
+    p_stats = sub.add_parser(
+        "stats", help="fold a result file's observability sidecars into a report"
+    )
+    p_stats.add_argument(
+        "target",
+        help="a results .jsonl file, or a sweep spec .json resolved via --store",
+    )
+    p_stats.add_argument(
+        "--store", default="experiment-results", help="result store directory (spec form)"
+    )
+    p_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_bench = sub.add_parser(
         "bench", help="regenerate the sweep tables and write BENCH_*.json artifacts"

@@ -59,6 +59,9 @@ from dataclasses import dataclass, field
 
 from repro.experiments.spec import ExperimentSpec, RunTask, canonical_json
 from repro.experiments.store import ResultStore
+from repro.obs.metrics import get_metrics, metrics_enabled
+from repro.obs.snapshot import MetricsSnapshot
+from repro.obs.tracing import TraceWriter, Tracer, set_tracer, span
 from repro.workloads.base import build_workload
 from repro.workloads.spec import InstanceSpec
 
@@ -195,6 +198,11 @@ def _run_batched(
     granularity, scaled by the group size (the same total budget the
     per-task path would spend); a group that exceeds it returns ``None`` and
     the per-task fallback re-runs each task under its individual budget.
+
+    ``wall_time`` is the group's measured wall clock attributed to each
+    record *proportionally to its step count* (an even split only when every
+    row took zero steps), so batched records are comparable to the per-task
+    path's timings instead of all sharing one group mean.
     """
     from repro.core.vector_batch import resolve_batch_backend
 
@@ -225,7 +233,12 @@ def _run_batched(
             )
     except Exception:  # noqa: BLE001 - the per-task path records the failure
         return None
-    wall = round((time.perf_counter() - start) / len(tasks), 6)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("dispatch.rung", rung=backend.name).inc()
+        metrics.counter("dispatch.runs", rung=backend.name).inc(len(tasks))
+    wall_total = time.perf_counter() - start
+    total_steps = sum(result.steps for result in results)
     return [
         {
             "task_id": task["task_id"],
@@ -238,7 +251,12 @@ def _run_batched(
             "verdict": result.verdict.value,
             "steps": result.steps,
             "expected": workload.expected,
-            "wall_time": wall,
+            "wall_time": round(
+                wall_total * result.steps / total_steps
+                if total_steps
+                else wall_total / len(tasks),
+                6,
+            ),
         }
         for task, result in zip(tasks, results)
     ]
@@ -273,10 +291,40 @@ def _run_chunk(
                 continue
             for position, record in zip(positions, batched):
                 records[position] = record
-    for position, task in enumerate(tasks):
-        if records[position] is None:
-            records[position] = _run_task(task, task_timeout, cache)
+    remaining = [position for position in range(len(tasks)) if records[position] is None]
+    if remaining:
+        metrics = get_metrics()
+        if metrics.enabled:
+            # The tasks the batch engines did not take ran one by one — the
+            # sweep-level equivalent of run_many's sequential rung.
+            metrics.counter("dispatch.rung", rung="sequential").inc()
+            metrics.counter("dispatch.runs", rung="sequential").inc(len(remaining))
+    for position in remaining:
+        records[position] = _run_task(tasks[position], task_timeout, cache)
     return records  # type: ignore[return-value]
+
+
+def _chunk_worker(
+    tasks: list[dict],
+    task_timeout: float | None,
+    shipped: dict | None = None,
+) -> tuple[list[dict], dict | None]:
+    """Pool entry point: a chunk's records plus the worker's metrics delta.
+
+    Wraps :func:`_run_chunk` (whose signature is the stable in-process
+    surface) and snapshots the worker's metrics registry before and after, so
+    the parent receives exactly this chunk's telemetry as a picklable
+    :meth:`~repro.obs.snapshot.MetricsSnapshot.to_dict` — workers are reused
+    across chunks, so the raw snapshot would double-count.  ``None`` when
+    metrics are disabled in the worker.
+    """
+    before = get_metrics().snapshot()
+    records = _run_chunk(tasks, task_timeout, shipped)
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return records, None
+    delta = metrics.snapshot().diff(before)
+    return records, delta.to_dict()
 
 
 def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:
@@ -309,7 +357,13 @@ def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:
 
 @dataclass
 class SweepRunSummary:
-    """What a :func:`run_spec` call did; ``records`` holds the new records."""
+    """What a :func:`run_spec` call did; ``records`` holds the new records.
+
+    ``metrics`` is the sweep's merged telemetry delta — parent-side counters
+    plus every worker chunk's snapshot — when the metrics registry was
+    enabled (``REPRO_METRICS=1`` or :func:`repro.obs.enable_metrics`), and
+    ``None`` otherwise.
+    """
 
     spec_key: str
     total_tasks: int
@@ -320,6 +374,7 @@ class SweepRunSummary:
     timeouts: int = 0
     wall_time: float = 0.0
     records: list[dict] = field(default_factory=list)
+    metrics: MetricsSnapshot | None = None
 
     @property
     def complete(self) -> bool:
@@ -351,8 +406,55 @@ def run_spec(
     ``resume`` is true and new records are appended chunk by chunk, so a
     killed sweep loses at most one in-flight chunk.  Returns a
     :class:`SweepRunSummary` whose ``records`` are the newly executed tasks.
+
+    When the metrics registry is enabled and a ``store`` is given, the sweep
+    also maintains the store's observability sidecars: spans (``sweep`` →
+    ``prepare-shipped`` / ``chunk`` / ``store-append``) stream into the
+    append-mode ``.trace.jsonl`` next to the results file, and the merged
+    metrics snapshot — parent counters plus every worker chunk's delta — is
+    folded into the ``.metrics.json`` sidecar.  ``python -m repro stats``
+    reads both.
     """
     started = time.perf_counter()
+    baseline = get_metrics().snapshot()
+    worker_totals = MetricsSnapshot()
+    writer = previous_tracer = None
+    if metrics_enabled() and store is not None:
+        writer = TraceWriter(store.trace_path(spec))
+        previous_tracer = set_tracer(Tracer(sink=writer))
+    try:
+        return _run_spec_traced(
+            spec,
+            store,
+            workers=workers,
+            chunk_size=chunk_size,
+            task_timeout=task_timeout,
+            resume=resume,
+            progress=progress,
+            started=started,
+            baseline=baseline,
+            worker_totals=worker_totals,
+        )
+    finally:
+        if writer is not None:
+            set_tracer(previous_tracer)
+            writer.close()
+
+
+def _run_spec_traced(
+    spec: ExperimentSpec,
+    store: ResultStore | None,
+    *,
+    workers: int,
+    chunk_size: int | None,
+    task_timeout: float | None,
+    resume: bool,
+    progress: Callable[[str], None] | None,
+    started: float,
+    baseline: MetricsSnapshot,
+    worker_totals: MetricsSnapshot,
+) -> SweepRunSummary:
+    """The body of :func:`run_spec`, run under its tracer installation."""
     tasks = spec.expand()
     done: set[str] = set()
     if store is not None:
@@ -370,7 +472,8 @@ def run_spec(
 
     def collect(records: list[dict]) -> None:
         if store is not None:
-            store.append(spec, records)
+            with span("store-append", records=len(records)):
+                store.append(spec, records)
         summary.records.extend(records)
         summary.executed += len(records)
         for record in records:
@@ -386,62 +489,84 @@ def run_spec(
             f"{summary.ok} ok, {summary.failed} failed, {summary.timeouts} timeout"
         )
 
+    def finalise() -> SweepRunSummary:
+        nonlocal worker_totals
+        summary.wall_time = time.perf_counter() - started
+        metrics = get_metrics()
+        if metrics.enabled:
+            delta = worker_totals.merge(metrics.snapshot().diff(baseline))
+            if delta:
+                summary.metrics = delta
+                if store is not None:
+                    store.write_metrics(spec, delta)
+        return summary
+
     if not todo:
-        summary.wall_time = time.perf_counter() - started
-        return summary
+        return finalise()
 
-    shipped = _prepare_shipped(todo)
+    with span("sweep", spec=spec.key(), tasks=len(todo), workers=workers):
+        with span("prepare-shipped"):
+            shipped = _prepare_shipped(todo)
 
-    if workers <= 1:
+        if workers <= 1:
+            if chunk_size is None:
+                chunk_size = max(1, len(todo) // 8)
+            # The whole shipped dict is shared across chunks: the in-process
+            # run reuses one compiled transition table for every run of a
+            # point.  The parent registry already holds the telemetry, so no
+            # snapshot crosses any boundary here.
+            for offset in range(0, len(todo), chunk_size):
+                chunk = todo[offset : offset + chunk_size]
+                with span("chunk", tasks=len(chunk)):
+                    collect(_run_chunk(chunk, task_timeout, shipped))
+            return finalise()
+
         if chunk_size is None:
-            chunk_size = max(1, len(todo) // 8)
-        # The whole shipped dict is shared across chunks: the in-process run
-        # reuses one compiled transition table for every run of a point.
-        for offset in range(0, len(todo), chunk_size):
-            collect(
-                _run_chunk(todo[offset : offset + chunk_size], task_timeout, shipped)
-            )
-        summary.wall_time = time.perf_counter() - started
-        return summary
+            # Aim for a few chunks per worker so stragglers rebalance, while
+            # keeping chunks big enough that the workload cache pays off.
+            chunk_size = max(1, min(16, -(-len(todo) // (workers * 4))))
+        chunks = [
+            todo[offset : offset + chunk_size]
+            for offset in range(0, len(todo), chunk_size)
+        ]
 
-    if chunk_size is None:
-        # Aim for a few chunks per worker so stragglers rebalance, while
-        # keeping chunks big enough that the workload cache pays off.
-        chunk_size = max(1, min(16, -(-len(todo) // (workers * 4))))
-    chunks = [todo[offset : offset + chunk_size] for offset in range(0, len(todo), chunk_size)]
+        def shipped_for(chunk: list[dict]) -> dict:
+            """Only the chunk's own workloads cross the process boundary."""
+            keys = {_task_key(task) for task in chunk}
+            return {key: shipped[key] for key in keys if key in shipped}
 
-    def shipped_for(chunk: list[dict]) -> dict:
-        """Only the chunk's own workloads cross the process boundary."""
-        keys = {_task_key(task) for task in chunk}
-        return {key: shipped[key] for key in keys if key in shipped}
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(_run_chunk, chunk, task_timeout, shipped_for(chunk)): chunk
-            for chunk in chunks
-        }
-        while pending:
-            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                chunk = pending.pop(future)
-                try:
-                    collect(future.result())
-                except Exception as exc:  # worker process died (e.g. OOM-kill)
-                    collect(
-                        [
-                            {
-                                "task_id": task["task_id"],
-                                "point_index": task["point_index"],
-                                "scenario": task["scenario"],
-                                "params": task["params"],
-                                "run_index": task["run_index"],
-                                "seed": task["seed"],
-                                "status": "failed",
-                                "error": f"worker crashed: {type(exc).__name__}: {exc}",
-                                "wall_time": 0.0,
-                            }
-                            for task in chunk
-                        ]
-                    )
-    summary.wall_time = time.perf_counter() - started
-    return summary
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(_chunk_worker, chunk, task_timeout, shipped_for(chunk)): chunk
+                for chunk in chunks
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = pending.pop(future)
+                    try:
+                        records, delta = future.result()
+                    except Exception as exc:  # worker process died (e.g. OOM-kill)
+                        collect(
+                            [
+                                {
+                                    "task_id": task["task_id"],
+                                    "point_index": task["point_index"],
+                                    "scenario": task["scenario"],
+                                    "params": task["params"],
+                                    "run_index": task["run_index"],
+                                    "seed": task["seed"],
+                                    "status": "failed",
+                                    "error": f"worker crashed: {type(exc).__name__}: {exc}",
+                                    "wall_time": 0.0,
+                                }
+                                for task in chunk
+                            ]
+                        )
+                        continue
+                    if delta:
+                        worker_totals = worker_totals.merge(
+                            MetricsSnapshot.from_dict(delta)
+                        )
+                    collect(records)
+    return finalise()

@@ -49,6 +49,20 @@ class ResultStore:
     def spec_path(self, spec: ExperimentSpec) -> Path:
         return self.root / f"{_slug(spec.name)}-{spec.key()}.spec.json"
 
+    def trace_path(self, spec: ExperimentSpec) -> Path:
+        """The ``.trace.jsonl`` observability sidecar (see :mod:`repro.obs`).
+
+        Named by stripping the results file's ``.jsonl`` suffix, so
+        :func:`repro.obs.report.sidecar_paths` finds it from the results
+        path alone.  The trace writer appends, so resumed sweeps extend the
+        same sidecar rather than truncating the earlier chunks' spans.
+        """
+        return self.root / f"{_slug(spec.name)}-{spec.key()}.trace.jsonl"
+
+    def metrics_path(self, spec: ExperimentSpec) -> Path:
+        """The ``.metrics.json`` merged-snapshot sidecar for ``spec``."""
+        return self.root / f"{_slug(spec.name)}-{spec.key()}.metrics.json"
+
     def write_spec(self, spec: ExperimentSpec) -> Path:
         """Persist the spec sidecar (idempotent — the content hash matches)."""
         path = self.spec_path(spec)
@@ -85,6 +99,35 @@ class ResultStore:
                     # complete record before it is still valid.
                     break
         return records
+
+    # ------------------------------------------------------------------ #
+    def load_metrics(self, spec: ExperimentSpec) -> "MetricsSnapshot":
+        """The durable metrics snapshot for ``spec`` (empty if none yet)."""
+        from repro.obs.snapshot import MetricsSnapshot
+
+        path = self.metrics_path(spec)
+        if not path.exists():
+            return MetricsSnapshot()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return MetricsSnapshot()
+        return MetricsSnapshot.from_dict(data)
+
+    def write_metrics(self, spec: ExperimentSpec, snapshot) -> Path:
+        """Merge ``snapshot`` into the durable sidecar and rewrite it.
+
+        Snapshot merge is associative and commutative, so a resumed sweep's
+        chunk telemetry folds into the earlier chunks' totals — the sidecar
+        always describes the whole results file, not just the last session.
+        """
+        merged = self.load_metrics(spec).merge(snapshot)
+        path = self.metrics_path(spec)
+        path.write_text(
+            json.dumps(merged.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
 
     def completed_ids(self, spec: ExperimentSpec) -> set[str]:
         """Task ids that have a durable successful record."""

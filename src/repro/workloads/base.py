@@ -40,8 +40,18 @@ from dataclasses import replace
 from repro.core.batch import BatchResult, collect_batch, derive_seed, quorum_target
 from repro.core.results import RunResult
 from repro.core.vector_batch import resolve_batch_backend
+from repro.obs.metrics import enable_if, get_metrics
 from repro.workloads.registry import get_scenario
 from repro.workloads.spec import EngineOptions, InstanceSpec
+
+
+def _count_rung(rung: str, runs: int) -> None:
+    # One increment per run_many dispatch decision, plus the batch size —
+    # the "which rung did my sweep actually take" signal of `repro stats`.
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("dispatch.rung", rung=rung).inc()
+        metrics.counter("dispatch.runs", rung=rung).inc(runs)
 
 
 class Workload:
@@ -97,8 +107,10 @@ class Workload:
         """
         if runs < 1:
             raise ValueError("a batch needs at least one run")
+        enable_if(self.options.metrics)
         if self.deterministic:
             quorum_target(runs, quorum)
+            _count_rung("replicate", runs)
             result = self.run(derive_seed(base_seed, 0))
 
             def outcomes():
@@ -115,6 +127,7 @@ class Workload:
             )
         backend = resolve_batch_backend(self)
         if backend is not None:
+            _count_rung(backend.name, runs)
             return backend.run_batch(
                 self,
                 runs,
@@ -123,6 +136,7 @@ class Workload:
                 min_runs=min_runs,
                 keep_results=keep_results,
             )
+        _count_rung("sequential", runs)
         return self.run_many_sequential(
             runs,
             base_seed=base_seed,

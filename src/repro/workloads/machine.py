@@ -36,6 +36,8 @@ from repro.core.scheduler import (
     ScheduleGenerator,
     SynchronousSchedule,
 )
+from repro.obs.metrics import enable_if
+from repro.obs.tracing import span
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_scenario, validated_params
 from repro.workloads.spec import EngineOptions, InstanceSpec
@@ -102,6 +104,7 @@ class MachineWorkload(Workload):
     ) -> RunResult:
         """Resolve a backend and execute — the single machine run path."""
         options = self.options
+        enable_if(options.metrics)
         if options.memo_cap is not None:
             # Attach the cap before the backend compiles (compilations are
             # cached on the machine, so this configures the shared table).
@@ -112,15 +115,16 @@ class MachineWorkload(Workload):
         backend = resolve_backend(
             backend_spec, self.machine, self.graph, schedule, options.record_trace
         )
-        return backend.run(
-            self.machine,
-            self.graph,
-            schedule,
-            max_steps=options.max_steps,
-            stability_window=options.stability_window,
-            record_trace=options.record_trace,
-            start=start,
-        )
+        with span("run", engine=backend.name, machine=self.machine.name):
+            return backend.run(
+                self.machine,
+                self.graph,
+                schedule,
+                max_steps=options.max_steps,
+                stability_window=options.stability_window,
+                record_trace=options.record_trace,
+                start=start,
+            )
 
     @property
     def deterministic(self) -> bool:
@@ -200,10 +204,12 @@ class CompiledMachineWorkload(Workload):
 
     def run(self, seed: int) -> RunResult:
         """One run on the compiled per-node engine (see the class docstring)."""
-        return run_compiled(
-            self.compiled,
-            self.graph,
-            RandomExclusiveSchedule(seed=seed),
-            max_steps=self.options.max_steps,
-            stability_window=self.options.stability_window,
-        )
+        enable_if(self.options.metrics)
+        with span("run", engine="compiled", machine=self.compiled.name):
+            return run_compiled(
+                self.compiled,
+                self.graph,
+                RandomExclusiveSchedule(seed=seed),
+                max_steps=self.options.max_steps,
+                stability_window=self.options.stability_window,
+            )

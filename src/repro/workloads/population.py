@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 from repro.core.labels import LabelCount
 from repro.core.results import RunResult
+from repro.obs.metrics import enable_if, get_metrics
+from repro.obs.tracing import span
 from repro.workloads.base import Workload
 from repro.workloads.spec import EngineOptions, InstanceSpec
 
@@ -45,9 +47,15 @@ class PopulationWorkload(Workload):
                 f"schedule={self.options.schedule!r}: pair interactions have "
                 f"no other schedule semantics"
             )
+        enable_if(self.options.metrics)
         backend = self.options.backend
         method = "auto" if backend in _MACHINE_BACKENDS else backend
-        verdict, steps = self.protocol.simulate(
-            self.count, max_steps=self.options.max_steps, seed=seed, method=method
-        )
+        with span("run", engine=f"population-{method}"):
+            verdict, steps = self.protocol.simulate(
+                self.count, max_steps=self.options.max_steps, seed=seed, method=method
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.runs", engine=f"population-{method}").inc()
+            metrics.counter("engine.steps", engine=f"population-{method}").inc(steps)
         return RunResult(verdict=verdict, steps=steps, final_configuration=())

@@ -41,6 +41,7 @@ _ENGINE_FIELDS = {
     "schedule",
     "record_trace",
     "memo_cap",
+    "metrics",
 }
 _SPEC_FIELDS = {"scenario", "params", "engine"}
 
@@ -75,6 +76,13 @@ class EngineOptions:
     backend column).  ``memo_cap`` bounds the number of memoised transition
     entries a compiled machine may accumulate (``None`` = unbounded); see
     :class:`~repro.core.compile.CompiledMachine`.
+
+    ``metrics`` turns on the process-wide observability registry
+    (:mod:`repro.obs.metrics`) when the workload runs.  Enabling is sticky
+    and *observational only* — results are bit-identical either way — and
+    the flag is serialised only when set, so the content hash
+    (:meth:`InstanceSpec.key`) of every pre-existing spec is unchanged and
+    result stores keep resuming.
     """
 
     max_steps: int = 20_000
@@ -83,6 +91,7 @@ class EngineOptions:
     schedule: str = "random-exclusive"
     record_trace: bool = False
     memo_cap: int | None = None
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -97,8 +106,14 @@ class EngineOptions:
             raise ValueError("memo_cap must be at least 1 (or None for unbounded)")
 
     def to_dict(self) -> dict:
-        """The JSON-ready field dict (inverse of :meth:`from_dict`)."""
-        return {
+        """The JSON-ready field dict (inverse of :meth:`from_dict`).
+
+        ``metrics`` is included only when set: telemetry never changes what
+        an instance computes, so the default must serialise exactly as it
+        did before the field existed — keeping every spec content hash (and
+        with it result-store resume) stable.
+        """
+        data = {
             "max_steps": self.max_steps,
             "stability_window": self.stability_window,
             "backend": self.backend,
@@ -106,6 +121,9 @@ class EngineOptions:
             "record_trace": self.record_trace,
             "memo_cap": self.memo_cap,
         }
+        if self.metrics:
+            data["metrics"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "EngineOptions":
@@ -120,6 +138,7 @@ class EngineOptions:
             schedule=data.get("schedule", "random-exclusive"),
             record_trace=data.get("record_trace", False),
             memo_cap=data.get("memo_cap"),
+            metrics=bool(data.get("metrics", False)),
         )
 
 

@@ -4,16 +4,17 @@ Usage::
 
     python tools/check_docstrings.py [ROOT ...]
 
-Walks the given package roots (default: ``src/repro/workloads`` and
-``src/repro/core`` — the public API and the engine layer whose invariants
-the rest of the repo builds on) and asserts, via ``ast`` (no imports, so a
-syntax-error-free tree is the only requirement):
+Walks the given package roots (default: ``src/repro/workloads``,
+``src/repro/core`` and ``src/repro/obs`` — the public API, the engine layer
+whose invariants the rest of the repo builds on, and the observability
+layer) and asserts, via ``ast`` (no imports, so a syntax-error-free tree is
+the only requirement):
 
 * every module has a module docstring;
 * every public class (name not starting with ``_``) has a docstring;
 * every public module-level function has a docstring;
-* on the *strict* surface — ``repro/workloads`` plus the batch engine
-  modules (``core/batch.py``, ``core/vector_batch.py``,
+* on the *strict* surface — ``repro/workloads`` and ``repro/obs`` plus the
+  batch engine modules (``core/batch.py``, ``core/vector_batch.py``,
   ``core/vector_pernode.py``, ``core/streaks.py``) — every public method of a public class has a
   docstring too, except trivial dunders (``__init__`` and friends may lean
   on the class docstring).
@@ -28,13 +29,14 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_ROOTS = ("src/repro/workloads", "src/repro/core")
+DEFAULT_ROOTS = ("src/repro/workloads", "src/repro/core", "src/repro/obs")
 
 #: Path fragments whose public *methods* must be documented as well — the
 #: unified Workload API and the batch/streak engine modules whose
 #: invariants (seed derivation, bit-identity) live in prose.
 STRICT_FRAGMENTS = (
     "repro/workloads/",
+    "repro/obs/",
     "repro/core/batch.py",
     "repro/core/vector_batch.py",
     "repro/core/vector_pernode.py",
