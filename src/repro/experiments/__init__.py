@@ -14,9 +14,14 @@ analyses behind a declarative front end:
   round-trippable description of scenario × parameter grid × runs × backend
   that expands deterministically into per-run tasks seeded via
   :func:`repro.core.batch.derive_seed`;
-* :mod:`repro.experiments.executor` — a parallel sweep executor on
-  :class:`concurrent.futures.ProcessPoolExecutor` with chunked dispatch,
-  per-task timeouts and failure isolation;
+* :mod:`repro.experiments.executor` — a parallel sweep executor on a
+  supervised :class:`concurrent.futures.ProcessPoolExecutor` with chunked
+  dispatch, per-task timeouts, in-session retries (:class:`RetryPolicy`),
+  pool respawn after worker deaths and poison-task quarantine (see
+  ``docs/robustness.md``);
+* :mod:`repro.experiments.faults` — the deterministic chaos harness
+  (:class:`FaultPlan` / ``REPRO_FAULTS``) injecting worker crashes, task
+  exceptions, timeouts and partial sidecar writes at seeded rates;
 * :mod:`repro.experiments.store` — a JSONL result store with content-hashed
   spec keys, so interrupted sweeps resume instead of recomputing;
 * :mod:`repro.experiments.report` — aggregation of stored runs into
@@ -26,7 +31,8 @@ analyses behind a declarative front end:
   (``run``, ``list-scenarios``, ``report``, ``bench``).
 """
 
-from repro.experiments.executor import SweepRunSummary, run_spec
+from repro.experiments.executor import RetryPolicy, SweepRunSummary, run_spec
+from repro.experiments.faults import FaultPlan, FaultRule, install_plan
 from repro.experiments.report import PointSummary, agreement_reports, summarise, sweep_table
 from repro.experiments.scenarios import (
     Scenario,
@@ -41,8 +47,11 @@ from repro.experiments.store import ResultStore
 
 __all__ = [
     "ExperimentSpec",
+    "FaultPlan",
+    "FaultRule",
     "PointSummary",
     "ResultStore",
+    "RetryPolicy",
     "RunTask",
     "Scenario",
     "ScenarioInstance",
@@ -51,6 +60,7 @@ __all__ = [
     "agreement_reports",
     "build_instance",
     "get_scenario",
+    "install_plan",
     "list_scenarios",
     "register_scenario",
     "run_spec",

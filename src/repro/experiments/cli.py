@@ -95,11 +95,19 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.executor import run_spec
+    from repro.experiments.executor import RetryPolicy, run_spec
 
     spec = _load_spec(args.spec)
     store = ResultStore(args.store)
     progress = None if args.quiet else lambda line: print(line, end="\r", file=sys.stderr)
+    try:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            backoff_base=args.backoff,
+            backoff_cap=args.backoff_cap,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid retry settings: {exc}")
     summary = run_spec(
         spec,
         store,
@@ -107,16 +115,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         task_timeout=args.task_timeout,
         resume=not args.no_resume,
+        retry=retry,
         progress=progress,
     )
     if not args.quiet:
         print(file=sys.stderr)
     print(summary.summary())
     print(f"results: {store.results_path(spec)}")
-    if summary.failed or summary.timeouts:
+    unsuccessful = (
+        summary.failed + summary.timeouts + summary.crashed + summary.quarantined
+    )
+    if unsuccessful:
+        detail = (
+            f"{summary.failed} failed, {summary.timeouts} timed-out, "
+            f"{summary.crashed} crashed and {summary.quarantined} quarantined"
+        )
         print(
-            f"warning: {summary.failed} failed and {summary.timeouts} timed-out "
-            f"tasks will be retried on the next run",
+            f"warning: {detail} tasks will be retried on the next run",
             file=sys.stderr,
         )
         return 1
@@ -308,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--no-resume", action="store_true", help="re-run tasks even if already stored"
+    )
+    p_run.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="in-session attempts per task for transient failures (1 disables)",
+    )
+    p_run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base retry backoff, doubling per attempt (seeded jitter applies)",
+    )
+    p_run.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="upper bound on a single retry backoff delay",
     )
     p_run.add_argument("--quiet", action="store_true", help="suppress progress output")
     p_run.set_defaults(func=_cmd_run)

@@ -1,9 +1,9 @@
-"""The parallel sweep executor: chunked dispatch, timeouts, failure isolation.
+"""The parallel sweep executor: chunked dispatch, timeouts, failure recovery.
 
 :func:`run_spec` expands an :class:`~repro.experiments.spec.ExperimentSpec`
 into per-run tasks, filters out the ones the result store already holds, and
 executes the rest — in-process when ``workers <= 1`` (the reference path the
-determinism tests compare against) or on a
+determinism tests compare against) or on a supervised
 :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
 
 Every task *is* an :class:`~repro.workloads.spec.InstanceSpec` on the wire —
@@ -23,12 +23,38 @@ point that land in the same chunk build their machine at most once, with
 per-task engine options applied through the cheap
 :meth:`Workload.with_options` copy.
 
-Failure isolation is per task: an exception inside one run (including a
-spec-level validation rejection, e.g. the absence multi-probe guard)
-produces a ``status="failed"`` record (with the error) and the sweep
-continues.  On POSIX a per-task wall-clock timeout is enforced with an
-interval timer inside the worker (``status="timeout"``); both statuses are
-retried on resume.
+**Failure recovery**, not merely isolation, is the executor's contract:
+
+* *Per-task isolation* — an exception inside one run (including a spec-level
+  validation rejection) produces a ``status="failed"`` record and the sweep
+  continues; on POSIX a per-task wall-clock timeout is enforced with an
+  interval timer inside the worker (``status="timeout"``).
+* *In-session retries* — a declarative, picklable :class:`RetryPolicy`
+  governs transient failures: ``failed``/``timeout``/``crashed`` outcomes are
+  re-run with seeded exponential backoff until ``max_attempts``, and every
+  record carries its 1-based ``attempt``.  Only the final outcome is stored.
+* *Pool supervision* — a dead worker (OOM kill, ``os._exit``) breaks the
+  whole ``ProcessPoolExecutor``; the supervisor tears it down, respawns a
+  fresh pool, and resubmits every in-flight chunk, so a crash costs one
+  chunk-retry instead of failing the rest of the sweep.  Respawns are
+  bounded by a budget derived from the retry policy.
+* *Poison-task quarantine* — after a crash the supervisor drains the
+  implicated (suspect) chunks one at a time, so the next crash is attributed
+  unambiguously; a crashing multi-task chunk is bisected until the poison
+  task is isolated, and a task that keeps crashing its worker alone is
+  recorded as ``status="quarantined"`` (with the crash signature and chunk
+  id) after ``max_attempts`` crashes — it can never wedge the sweep.  Crash
+  handling always allows at least one re-run (a crash implicates a whole
+  chunk, not a task), even when record-level retries are disabled.
+
+Retry, respawn and quarantine events flow into the :mod:`repro.obs` registry
+(``executor.retries{reason}``, ``executor.pool_respawns``,
+``executor.quarantined{reason}``) and the trace sidecar (``task-retry``,
+``pool-respawn``, ``chunk-bisect``, ``quarantine`` events); ``python -m repro
+stats`` folds them into its fault-tolerance section.  The deterministic
+chaos harness in :mod:`repro.experiments.faults` injects real worker
+crashes, task exceptions and timeouts at seeded rates to keep all of the
+above testable; with no plan installed it costs one ``is None`` check.
 
 **Vectorized chunk dispatch.**  The runs of one grid point that land in the
 same chunk share one engine configuration and differ only in their derived
@@ -36,15 +62,16 @@ seed, so when the point's workload is eligible for the vectorized batch
 engine (:mod:`repro.core.vector_batch`) the chunk executes them as ONE
 lockstep task instead of a per-task loop — identical records (the engine is
 bit-identical to per-run execution, so verdicts/steps/expected are
-unchanged; only ``wall_time``, which is never compared, becomes the
-per-group mean).  A per-task ``task_timeout`` keeps the grouped path: the
-chunk applies the budget at batch granularity — ``task_timeout`` scaled by
-the group size, the same total wall-clock the per-task path would allow —
+unchanged; only ``wall_time``, which is never compared, becomes proportional
+to each row's steps).  A per-task ``task_timeout`` keeps the grouped path:
+the chunk applies the budget at batch granularity — ``task_timeout`` scaled
+by the group size, the same total wall-clock the per-task path would allow —
 and a group that exceeds it (or fails for any other reason) falls back to
 per-task execution with individual timeouts, keeping both the per-task
 budget contract and failure isolation intact.  ``BATCH_DISPATCH`` is a
 module-level switch the regression tests flip to prove the records are the
-same either way.
+same either way; an active fault plan also forces the per-task path so
+faults keep their per-task semantics.
 """
 
 from __future__ import annotations
@@ -53,15 +80,24 @@ import signal
 import threading
 import time
 import warnings
+from collections import deque
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from repro.experiments.faults import (
+    InjectedCrash,
+    InjectedTimeout,
+    allow_process_exit,
+    fire,
+    get_plan,
+    hash01,
+)
 from repro.experiments.spec import ExperimentSpec, RunTask, canonical_json
 from repro.experiments.store import ResultStore
 from repro.obs.metrics import get_metrics, metrics_enabled
 from repro.obs.snapshot import MetricsSnapshot
-from repro.obs.tracing import TraceWriter, Tracer, set_tracer, span
+from repro.obs.tracing import TraceWriter, Tracer, set_tracer, span, trace_event
 from repro.workloads.base import build_workload
 from repro.workloads.spec import InstanceSpec
 
@@ -70,9 +106,70 @@ from repro.workloads.spec import InstanceSpec
 #: engine.  On by default; tests flip it to compare against per-task records.
 BATCH_DISPATCH = True
 
+#: Record statuses the retry policy re-runs while attempts remain.
+RETRYABLE_STATUSES = ("failed", "timeout", "crashed")
+
 
 class TaskTimeout(Exception):
     """Raised inside a worker when a task exceeds its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative, picklable in-session retry settings for a sweep.
+
+    ``max_attempts`` bounds how many times one task may execute (1 disables
+    record-level retries); ``backoff_base`` is the attempt-2 delay in
+    seconds, doubling per further attempt up to ``backoff_cap``; the actual
+    delay is jittered into ``[d/2, d]`` by a hash seeded with
+    ``jitter_seed`` — deterministic per ``(task, attempt)``, so reruns pace
+    identically.  Crash recovery derives its quarantine bound from
+    ``max_attempts`` too, with a floor of one re-run (a crash implicates a
+    whole chunk, not a single task).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff settings must be non-negative")
+
+    @property
+    def crash_limit(self) -> int:
+        """Crashes tolerated before quarantine (floor of 2; see class doc)."""
+        return max(2, self.max_attempts)
+
+    def delay(self, task_key: str, attempt: int) -> float:
+        """Seconds to wait before running ``attempt`` (2-based) of a task.
+
+        Exponential in the attempt number, capped, and deterministically
+        jittered into ``[d/2, d]`` so simultaneous retries do not stampede
+        yet remain reproducible.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = min(self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempt - 2)))
+        jitter = hash01(self.jitter_seed, "backoff", task_key, attempt)
+        return raw * (0.5 + 0.5 * jitter)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (CLI flags and specs round-trip through this)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "jitter_seed": self.jitter_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        return cls(**dict(data))
 
 
 #: One-shot flag: warn about a requested-but-unsupported timeout only once
@@ -133,13 +230,18 @@ def _task_key(task: dict) -> tuple:
 
 
 def _task_spec(task: dict) -> InstanceSpec:
-    """The instance spec a task dict denotes (runs full spec validation)."""
-    return RunTask.from_dict(task).instance_spec()
+    """The instance spec a task dict denotes (runs full spec validation).
+
+    Executor-private bookkeeping keys (``attempt``) are stripped first — the
+    wire form of a task stays exactly the :class:`RunTask` fields.
+    """
+    data = {key: value for key, value in task.items() if key != "attempt"}
+    return RunTask.from_dict(data).instance_spec()
 
 
-def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
-    """Execute one task dict; never raises — failures become records."""
-    record = {
+def _task_identity(task: dict) -> dict:
+    """The identity fields every record of ``task`` starts from."""
+    return {
         "task_id": task["task_id"],
         "point_index": task["point_index"],
         "scenario": task["scenario"],
@@ -147,9 +249,21 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
         "run_index": task["run_index"],
         "seed": task["seed"],
     }
+
+
+def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
+    """Execute one task dict; never raises — failures become records."""
+    attempt = int(task.get("attempt", 1))
+    record = _task_identity(task)
+    record["attempt"] = attempt
     start = time.perf_counter()
     try:
         with _Alarm(task_timeout):
+            plan = get_plan()
+            if plan is not None:
+                rule = plan.for_task(task["task_id"], attempt)
+                if rule is not None:
+                    fire(rule, task["task_id"], attempt)
             key = _task_key(task)
             workload = cache.get(key)
             if workload is None:
@@ -162,6 +276,12 @@ def _run_task(task: dict, task_timeout: float | None, cache: dict) -> dict:
             ).run(task["seed"])
     except TaskTimeout:
         record.update(status="timeout", error=f"exceeded {task_timeout}s")
+    except InjectedTimeout as exc:
+        record.update(status="timeout", error=str(exc))
+    except InjectedCrash as exc:
+        # The in-process stand-in for a worker death (see repro.experiments
+        # .faults): recorded, retryable, but the process survives.
+        record.update(status="crashed", error=f"worker crashed: {exc}")
     except Exception as exc:  # noqa: BLE001 - failure isolation is the point
         record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
     else:
@@ -241,12 +361,8 @@ def _run_batched(
     total_steps = sum(result.steps for result in results)
     return [
         {
-            "task_id": task["task_id"],
-            "point_index": task["point_index"],
-            "scenario": task["scenario"],
-            "params": task["params"],
-            "run_index": task["run_index"],
-            "seed": task["seed"],
+            **_task_identity(task),
+            "attempt": int(task.get("attempt", 1)),
             "status": "ok",
             "verdict": result.verdict.value,
             "steps": result.steps,
@@ -273,11 +389,12 @@ def _run_chunk(
     (keyed exactly like the cache, by ``(scenario, canonical params)``), so
     the chunk only builds what could not ship.  Same-point task groups go
     through the vectorized batch engine when it is eligible (see the module
-    docstring); everything else runs task by task.
+    docstring); everything else runs task by task.  An active fault plan
+    forces the per-task path so injected faults keep per-task semantics.
     """
     cache: dict = dict(shipped) if shipped else {}
     records: list[dict | None] = [None] * len(tasks)
-    if BATCH_DISPATCH:
+    if BATCH_DISPATCH and get_plan() is None:
         groups: dict[tuple, list[int]] = {}
         for position, task in enumerate(tasks):
             groups.setdefault(_batch_key(task), []).append(position)
@@ -316,8 +433,10 @@ def _chunk_worker(
     the parent receives exactly this chunk's telemetry as a picklable
     :meth:`~repro.obs.snapshot.MetricsSnapshot.to_dict` — workers are reused
     across chunks, so the raw snapshot would double-count.  ``None`` when
-    metrics are disabled in the worker.
+    metrics are disabled in the worker.  Also arms real ``os._exit`` crash
+    faults: only pool workers may die for the chaos harness.
     """
+    allow_process_exit(True)
     before = get_metrics().snapshot()
     records = _run_chunk(tasks, task_timeout, shipped)
     metrics = get_metrics()
@@ -359,6 +478,11 @@ def _prepare_shipped(todo: list[dict]) -> dict[tuple, object]:
 class SweepRunSummary:
     """What a :func:`run_spec` call did; ``records`` holds the new records.
 
+    Only *final* outcomes are counted and stored: a task that failed
+    transiently and succeeded on retry contributes one ``ok`` record (with
+    ``attempt > 1``) and one tick of ``retried``.  ``pool_respawns`` counts
+    supervisor pool replacements after worker deaths; ``quarantined`` counts
+    tasks isolated as poison (they crash their worker every attempt).
     ``metrics`` is the sweep's merged telemetry delta — parent-side counters
     plus every worker chunk's snapshot — when the metrics registry was
     enabled (``REPRO_METRICS=1`` or :func:`repro.obs.enable_metrics`), and
@@ -372,6 +496,10 @@ class SweepRunSummary:
     ok: int = 0
     failed: int = 0
     timeouts: int = 0
+    crashed: int = 0
+    quarantined: int = 0
+    retried: int = 0
+    pool_respawns: int = 0
     wall_time: float = 0.0
     records: list[dict] = field(default_factory=list)
     metrics: MetricsSnapshot | None = None
@@ -382,12 +510,327 @@ class SweepRunSummary:
         return self.skipped + self.ok == self.total_tasks
 
     def summary(self) -> str:
+        """One-line human-readable account of the sweep."""
+        extra = ""
+        if self.crashed or self.quarantined:
+            extra = f", {self.crashed} crashed, {self.quarantined} quarantined"
+        tail = ""
+        if self.retried or self.pool_respawns:
+            tail = f"; {self.retried} retries, {self.pool_respawns} pool respawns"
         return (
             f"spec {self.spec_key}: {self.total_tasks} tasks, "
             f"{self.skipped} already stored, {self.executed} executed "
-            f"({self.ok} ok, {self.failed} failed, {self.timeouts} timeout) "
-            f"in {self.wall_time:.2f}s"
+            f"({self.ok} ok, {self.failed} failed, {self.timeouts} timeout{extra}) "
+            f"in {self.wall_time:.2f}s{tail}"
         )
+
+
+@dataclass
+class _ChunkJob:
+    """One schedulable unit of sweep work inside the supervisor.
+
+    ``id`` is the chunk's stable identity (``c3`` → bisected halves
+    ``c3.0``/``c3.1`` → retry ``c3.0r``), recorded on crash/quarantine
+    records so ``repro stats`` can attribute them.  ``not_before`` delays a
+    retry until its backoff expires; ``suspect`` marks jobs implicated in a
+    pool crash, which the supervisor drains one at a time so the next crash
+    is attributed unambiguously.
+    """
+
+    id: str
+    tasks: list[dict]
+    not_before: float = 0.0
+    suspect: bool = False
+    submitted_at: float = 0.0
+
+
+def _split_retryable(
+    tasks: list[dict],
+    records: list[dict],
+    policy: RetryPolicy,
+    summary: SweepRunSummary,
+) -> tuple[list[dict], list[dict]]:
+    """Partition chunk ``records`` into final records and tasks to re-run.
+
+    A record whose status is retryable and whose attempt has budget left is
+    withheld; its task comes back with ``attempt`` incremented.  Retries are
+    counted on ``summary`` and in the ``executor.retries{reason}`` metric.
+    """
+    metrics = get_metrics()
+    by_id = {task["task_id"]: task for task in tasks}
+    final: list[dict] = []
+    retries: list[dict] = []
+    for record in records:
+        status = record.get("status")
+        attempt = int(record.get("attempt", 1))
+        if status in RETRYABLE_STATUSES and attempt < policy.max_attempts:
+            task = dict(by_id[record["task_id"]])
+            task["attempt"] = attempt + 1
+            retries.append(task)
+            summary.retried += 1
+            if metrics.enabled:
+                metrics.counter("executor.retries", reason=status).inc()
+            trace_event(
+                "task-retry",
+                task=record["task_id"],
+                attempt=attempt + 1,
+                reason=status,
+            )
+        else:
+            final.append(record)
+    return final, retries
+
+
+def _retry_job(parent: _ChunkJob, tasks: list[dict], policy: RetryPolicy) -> _ChunkJob:
+    """A delayed follow-up job re-running ``tasks`` from ``parent``.
+
+    The chunk waits for the longest member backoff, so every task in it gets
+    at least its own policy delay.
+    """
+    due = time.monotonic() + max(
+        policy.delay(task["task_id"], int(task["attempt"])) for task in tasks
+    )
+    return _ChunkJob(
+        id=f"{parent.id}r", tasks=tasks, not_before=due, suspect=parent.suspect
+    )
+
+
+def _terminal_crash_record(
+    task: dict,
+    job: _ChunkJob,
+    signature: str,
+    wall: float,
+    *,
+    quarantined: bool,
+    crash_count: int = 0,
+) -> dict:
+    """The stored record for a task whose crash handling is exhausted.
+
+    Carries the originating chunk id and the crash signature (so ``repro
+    stats`` can attribute worker deaths) plus the parent-measured wall time
+    of the fatal submission — the only telemetry that survives the worker.
+    """
+    record = _task_identity(task)
+    record.update(
+        attempt=int(task.get("attempt", 1)),
+        chunk=job.id,
+        crash_signature=signature,
+        wall_time=round(max(wall, 0.0), 6),
+    )
+    if quarantined:
+        record.update(
+            status="quarantined",
+            error=f"quarantined after {crash_count} worker crashes: {signature}",
+            crashes=crash_count,
+        )
+    else:
+        record.update(status="crashed", error=f"worker crashed: {signature}")
+    return record
+
+
+def _run_supervised(
+    chunks: list[list[dict]],
+    *,
+    workers: int,
+    task_timeout: float | None,
+    shipped_for: Callable[[list[dict]], dict],
+    policy: RetryPolicy,
+    summary: SweepRunSummary,
+    collect: Callable[[list[dict]], None],
+    on_delta: Callable[[dict], None],
+) -> None:
+    """Drive ``chunks`` to completion on a supervised, self-healing pool.
+
+    The supervisor keeps a bounded submission window (``2 × workers``) so a
+    pool break implicates only the in-flight jobs.  On a break it respawns
+    the pool, marks every reclaimed job *suspect* (their attempts increment:
+    they may have partially executed) and drains suspects one at a time —
+    isolation makes the next crash attributable.  An attributed crashing
+    multi-task job is bisected; an attributed crashing singleton is
+    re-tried with backoff until :attr:`RetryPolicy.crash_limit` crashes,
+    then recorded as ``status="quarantined"``.  Respawns are bounded by a
+    policy-derived budget; on exhaustion everything still outstanding is
+    recorded as ``status="crashed"`` rather than looping forever.
+    """
+    metrics = get_metrics()
+    queue: deque[_ChunkJob] = deque(
+        _ChunkJob(id=f"c{index}", tasks=chunk) for index, chunk in enumerate(chunks)
+    )
+    pending: dict = {}
+    crashes: dict[str, int] = {}
+    respawns_left = 8 + 2 * policy.max_attempts * max(1, len(chunks))
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def probing() -> bool:
+        return any(job.suspect for job in queue) or any(
+            job.suspect for job in pending.values()
+        )
+
+    def finish(job: _ChunkJob, records: list[dict]) -> None:
+        final, retry_tasks = _split_retryable(job.tasks, records, policy, summary)
+        collect(final)
+        if retry_tasks:
+            queue.append(_retry_job(job, retry_tasks, policy))
+
+    def give_up(jobs: list[_ChunkJob], signature: str) -> None:
+        """Respawn budget exhausted: record everything left as crashed."""
+        for job in jobs:
+            wall = time.monotonic() - job.submitted_at if job.submitted_at else 0.0
+            collect(
+                [
+                    _terminal_crash_record(
+                        task, job, signature, wall, quarantined=False
+                    )
+                    for task in job.tasks
+                ]
+            )
+
+    def attribute(job: _ChunkJob, signature: str) -> None:
+        """Handle a crash pinned on ``job`` (it was alone in flight)."""
+        wall = time.monotonic() - job.submitted_at
+        for task in job.tasks:
+            crashes[task["task_id"]] = crashes.get(task["task_id"], 0) + 1
+            task["attempt"] = int(task.get("attempt", 1)) + 1
+        if len(job.tasks) > 1:
+            # Bisect: the poison task is in one half; the other half gets to
+            # finish instead of dying with it.
+            middle = len(job.tasks) // 2
+            halves = (job.tasks[:middle], job.tasks[middle:])
+            trace_event("chunk-bisect", chunk=job.id, tasks=len(job.tasks))
+            for index in (1, 0):
+                queue.appendleft(
+                    _ChunkJob(
+                        id=f"{job.id}.{index}",
+                        tasks=list(halves[index]),
+                        suspect=True,
+                    )
+                )
+            return
+        task = job.tasks[0]
+        task_id = task["task_id"]
+        if crashes[task_id] >= policy.crash_limit:
+            collect(
+                [
+                    _terminal_crash_record(
+                        task,
+                        job,
+                        signature,
+                        wall,
+                        quarantined=True,
+                        crash_count=crashes[task_id],
+                    )
+                ]
+            )
+            if metrics.enabled:
+                metrics.counter("executor.quarantined", reason="crash-loop").inc()
+            trace_event(
+                "quarantine", task=task_id, chunk=job.id, crashes=crashes[task_id]
+            )
+            return
+        summary.retried += 1
+        if metrics.enabled:
+            metrics.counter("executor.retries", reason="crashed").inc()
+        job.suspect = True
+        job.not_before = time.monotonic() + policy.delay(task_id, int(task["attempt"]))
+        queue.appendleft(job)
+
+    try:
+        while queue or pending:
+            now = time.monotonic()
+            limit = 1 if probing() else max(1, workers * 2)
+            submit_failure: BaseException | None = None
+            index = 0
+            while len(pending) < limit and index < len(queue):
+                if queue[index].not_before > now:
+                    index += 1
+                    continue
+                job = queue[index]
+                del queue[index]
+                job.submitted_at = time.monotonic()
+                try:
+                    future = pool.submit(
+                        _chunk_worker, job.tasks, task_timeout, shipped_for(job.tasks)
+                    )
+                except Exception as exc:  # pool broke between events
+                    queue.appendleft(job)
+                    submit_failure = exc
+                    break
+                pending[future] = job
+
+            if not pending:
+                if submit_failure is None:
+                    if not queue:
+                        break
+                    due = min(job.not_before for job in queue)
+                    time.sleep(max(0.0, due - time.monotonic()))
+                    continue
+                crashed_jobs: list[tuple[_ChunkJob, BaseException]] = []
+            else:
+                timeout = None
+                if queue:
+                    due = min(job.not_before for job in queue)
+                    timeout = max(0.0, due - time.monotonic())
+                done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+                crashed_jobs = []
+                for future in done:
+                    job = pending.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        crashed_jobs.append((job, exc))
+                        continue
+                    records, delta = future.result()
+                    if delta:
+                        on_delta(delta)
+                    finish(job, records)
+                if not crashed_jobs and submit_failure is None:
+                    continue
+
+            # --- crash event: the pool is broken ------------------------- #
+            first_exc = crashed_jobs[0][1] if crashed_jobs else submit_failure
+            signature = f"{type(first_exc).__name__}: {first_exc}"
+            reclaimed = [job for job, _ in crashed_jobs]
+            for future, job in list(pending.items()):
+                if future.done() and future.exception() is None:
+                    records, delta = future.result()
+                    if delta:
+                        on_delta(delta)
+                    finish(job, records)
+                else:
+                    reclaimed.append(job)
+            pending.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            summary.pool_respawns += 1
+            respawns_left -= 1
+            if metrics.enabled:
+                metrics.counter("executor.pool_respawns").inc()
+            trace_event(
+                "pool-respawn",
+                chunks=[job.id for job in reclaimed],
+                error=signature,
+            )
+            if respawns_left <= 0:
+                give_up(reclaimed + list(queue), signature)
+                queue.clear()
+                continue
+            if len(reclaimed) == 1 and not submit_failure:
+                attribute(reclaimed[0], signature)
+                continue
+            # Ambiguous: several jobs were in flight.  Everyone reclaimed is
+            # suspect and re-runs (attempt incremented — they may have
+            # partially executed); the drain is serialized so the next crash
+            # is attributable.
+            for job in reversed(reclaimed):
+                for task in job.tasks:
+                    task["attempt"] = int(task.get("attempt", 1)) + 1
+                    summary.retried += 1
+                    if metrics.enabled:
+                        metrics.counter("executor.retries", reason="crashed").inc()
+                job.suspect = True
+                job.not_before = 0.0
+                queue.appendleft(job)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_spec(
@@ -398,14 +841,18 @@ def run_spec(
     chunk_size: int | None = None,
     task_timeout: float | None = None,
     resume: bool = True,
+    retry: RetryPolicy | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepRunSummary:
     """Execute every not-yet-stored task of ``spec``; see the module docstring.
 
     With a ``store``, completed tasks (status ``ok``) are skipped when
     ``resume`` is true and new records are appended chunk by chunk, so a
-    killed sweep loses at most one in-flight chunk.  Returns a
-    :class:`SweepRunSummary` whose ``records`` are the newly executed tasks.
+    killed sweep loses at most one in-flight chunk.  ``retry`` is the
+    in-session :class:`RetryPolicy` (defaults to 3 attempts with 50 ms base
+    backoff; pass ``RetryPolicy(max_attempts=1)`` to disable).  Returns a
+    :class:`SweepRunSummary` whose ``records`` are the newly executed tasks'
+    final outcomes.
 
     When the metrics registry is enabled and a ``store`` is given, the sweep
     also maintains the store's observability sidecars: spans (``sweep`` →
@@ -430,6 +877,7 @@ def run_spec(
             chunk_size=chunk_size,
             task_timeout=task_timeout,
             resume=resume,
+            retry=retry if retry is not None else RetryPolicy(),
             progress=progress,
             started=started,
             baseline=baseline,
@@ -449,6 +897,7 @@ def _run_spec_traced(
     chunk_size: int | None,
     task_timeout: float | None,
     resume: bool,
+    retry: RetryPolicy,
     progress: Callable[[str], None] | None,
     started: float,
     baseline: MetricsSnapshot,
@@ -462,6 +911,8 @@ def _run_spec_traced(
         if resume:
             done = store.completed_ids(spec)
     todo = [task.to_dict() for task in tasks if task.task_id not in done]
+    for task in todo:
+        task["attempt"] = 1
     summary = SweepRunSummary(
         spec_key=spec.key(), total_tasks=len(tasks), skipped=len(tasks) - len(todo)
     )
@@ -471,6 +922,8 @@ def _run_spec_traced(
             progress(message)
 
     def collect(records: list[dict]) -> None:
+        if not records:
+            return
         if store is not None:
             with span("store-append", records=len(records)):
                 store.append(spec, records)
@@ -482,12 +935,19 @@ def _run_spec_traced(
                 summary.ok += 1
             elif status == "timeout":
                 summary.timeouts += 1
+            elif status == "crashed":
+                summary.crashed += 1
+            elif status == "quarantined":
+                summary.quarantined += 1
             else:
                 summary.failed += 1
-        note(
+        line = (
             f"[{summary.skipped + summary.executed}/{summary.total_tasks}] "
             f"{summary.ok} ok, {summary.failed} failed, {summary.timeouts} timeout"
         )
+        if summary.crashed or summary.quarantined:
+            line += f", {summary.crashed} crashed, {summary.quarantined} quarantined"
+        note(line)
 
     def finalise() -> SweepRunSummary:
         nonlocal worker_totals
@@ -515,10 +975,23 @@ def _run_spec_traced(
             # run reuses one compiled transition table for every run of a
             # point.  The parent registry already holds the telemetry, so no
             # snapshot crosses any boundary here.
-            for offset in range(0, len(todo), chunk_size):
-                chunk = todo[offset : offset + chunk_size]
-                with span("chunk", tasks=len(chunk)):
-                    collect(_run_chunk(chunk, task_timeout, shipped))
+            jobs: deque[_ChunkJob] = deque(
+                _ChunkJob(id=f"c{index}", tasks=todo[offset : offset + chunk_size])
+                for index, offset in enumerate(range(0, len(todo), chunk_size))
+            )
+            while jobs:
+                job = jobs.popleft()
+                delay = job.not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                with span("chunk", tasks=len(job.tasks)):
+                    records = _run_chunk(job.tasks, task_timeout, shipped)
+                final, retry_tasks = _split_retryable(
+                    job.tasks, records, retry, summary
+                )
+                collect(final)
+                if retry_tasks:
+                    jobs.append(_retry_job(job, retry_tasks, retry))
             return finalise()
 
         if chunk_size is None:
@@ -535,38 +1008,18 @@ def _run_spec_traced(
             keys = {_task_key(task) for task in chunk}
             return {key: shipped[key] for key in keys if key in shipped}
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(_chunk_worker, chunk, task_timeout, shipped_for(chunk)): chunk
-                for chunk in chunks
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    chunk = pending.pop(future)
-                    try:
-                        records, delta = future.result()
-                    except Exception as exc:  # worker process died (e.g. OOM-kill)
-                        collect(
-                            [
-                                {
-                                    "task_id": task["task_id"],
-                                    "point_index": task["point_index"],
-                                    "scenario": task["scenario"],
-                                    "params": task["params"],
-                                    "run_index": task["run_index"],
-                                    "seed": task["seed"],
-                                    "status": "failed",
-                                    "error": f"worker crashed: {type(exc).__name__}: {exc}",
-                                    "wall_time": 0.0,
-                                }
-                                for task in chunk
-                            ]
-                        )
-                        continue
-                    if delta:
-                        worker_totals = worker_totals.merge(
-                            MetricsSnapshot.from_dict(delta)
-                        )
-                    collect(records)
+        def on_delta(delta: dict) -> None:
+            nonlocal worker_totals
+            worker_totals = worker_totals.merge(MetricsSnapshot.from_dict(delta))
+
+        _run_supervised(
+            chunks,
+            workers=workers,
+            task_timeout=task_timeout,
+            shipped_for=shipped_for,
+            policy=retry,
+            summary=summary,
+            collect=collect,
+            on_delta=on_delta,
+        )
     return finalise()

@@ -1,0 +1,270 @@
+"""Deterministic fault injection for the sweep executor — the chaos harness.
+
+The executor's fault-tolerance machinery (pool supervision, retry with
+backoff, poison-task quarantine — see :mod:`repro.experiments.executor`) is
+only trustworthy if worker crashes, task exceptions and timeouts can be
+produced *on demand and reproducibly*.  This module is that switch: a
+declarative :class:`FaultPlan` of :class:`FaultRule` clauses that fire at
+seeded, hash-derived rates keyed on ``(seed, kind, task_id, attempt)`` — the
+same task at the same attempt always faults (or not) identically, across
+processes and across reruns, so a chaos test is as deterministic as the
+simulation it perturbs.
+
+Four fault kinds are injectable:
+
+``crash``
+    The worker process dies via ``os._exit`` — the real thing, breaking the
+    ``ProcessPoolExecutor`` exactly like an OOM kill.  Only armed inside pool
+    workers (:func:`allow_process_exit`); in-process execution degrades to an
+    :class:`InjectedCrash` exception so a serial sweep (or the test runner)
+    is never killed.
+``exception``
+    The task raises :class:`InjectedFault` (recorded as ``status="failed"``).
+``timeout``
+    The task raises :class:`InjectedTimeout` (recorded as
+    ``status="timeout"``, as if the wall-clock budget fired).
+``partial-write``
+    A result-store sidecar write stops halfway through its temp file and
+    raises — the signature of a kill mid-write, which the store's atomic
+    ``os.replace`` rename must render harmless.
+
+Plans come from the ``REPRO_FAULTS`` environment variable (parsed at import,
+so executor worker processes — fork or spawn — inherit the setting) or from
+:func:`install_plan` directly.  The spec grammar is ``;``-separated clauses::
+
+    REPRO_FAULTS="crash:tasks=exists-label:0:*,attempts=1;exception:rate=0.2,seed=7"
+
+Each clause is ``kind[:key=value,...]`` with keys ``rate`` (probability in
+[0, 1], default 1), ``tasks`` (an ``fnmatch`` glob over the task id, or the
+sidecar file name for ``partial-write``; default ``*``), ``attempts`` (an
+attempt matcher: ``*``, ``2``, ``1-3``, ``<=2``, ``>=3``; default ``*``) and
+``seed`` (the hash seed, default 0).  Globs may not contain ``,`` or ``;``.
+
+With no plan installed the harness is inert: :func:`get_plan` answers
+``None`` and the executor's hot path pays one ``is None`` check — the
+differential suites stay bit-identical with this module imported.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+from dataclasses import dataclass
+
+#: The environment variable a fault plan is parsed from at import time.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every injectable fault kind, in documentation order.
+KINDS = ("crash", "exception", "timeout", "partial-write")
+
+#: The kinds that fire inside :func:`~repro.experiments.executor._run_task`
+#: (as opposed to ``partial-write``, which fires inside store sidecar writes).
+TASK_KINDS = ("crash", "exception", "timeout")
+
+
+class InjectedFault(Exception):
+    """An injected task failure (recorded as ``status="failed"``)."""
+
+
+class InjectedCrash(InjectedFault):
+    """The in-process stand-in for a worker crash (``status="crashed"``).
+
+    Raised instead of ``os._exit`` when process exit is not armed — serial
+    sweeps and direct ``_run_chunk`` calls survive a crash rule and record it
+    as a crashed task instead of dying.
+    """
+
+
+class InjectedTimeout(InjectedFault):
+    """An injected wall-clock overrun (recorded as ``status="timeout"``)."""
+
+
+def hash01(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed on ``(seed, *parts)``.
+
+    SHA-256 over the colon-joined string forms, so the same key always maps
+    to the same value in every process — the primitive both fault rates and
+    :meth:`~repro.experiments.executor.RetryPolicy.delay` jitter build on.
+    """
+    payload = ":".join(str(part) for part in (seed, *parts)).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _attempt_matches(spec: str, attempt: int) -> bool:
+    """Whether attempt matcher ``spec`` accepts the 1-based ``attempt``."""
+    spec = spec.strip()
+    if spec in ("", "*"):
+        return True
+    if spec.startswith("<="):
+        return attempt <= int(spec[2:])
+    if spec.startswith(">="):
+        return attempt >= int(spec[2:])
+    if spec.startswith("<"):
+        return attempt < int(spec[1:])
+    if spec.startswith(">"):
+        return attempt > int(spec[1:])
+    if "-" in spec:
+        low, _, high = spec.partition("-")
+        return int(low) <= attempt <= int(high)
+    return attempt == int(spec)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault clause; see the module docstring for the grammar."""
+
+    kind: str
+    rate: float = 1.0
+    tasks: str = "*"
+    attempts: str = "*"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be within [0, 1], got {self.rate}")
+        _attempt_matches(self.attempts, 1)  # validate the matcher eagerly
+
+    def matches_task(self, task_id: str, attempt: int) -> bool:
+        """Whether this rule fires for ``task_id`` at the 1-based ``attempt``.
+
+        Deterministic: the rate draw is :func:`hash01` over
+        ``(seed, kind, task_id, attempt)``, so the decision is identical in
+        every process and on every replay.
+        """
+        if self.kind not in TASK_KINDS:
+            return False
+        if not fnmatch.fnmatchcase(task_id, self.tasks):
+            return False
+        if not _attempt_matches(self.attempts, attempt):
+            return False
+        if self.rate >= 1.0:
+            return True
+        return hash01(self.seed, self.kind, task_id, attempt) < self.rate
+
+    def matches_write(self, name: str) -> bool:
+        """Whether this ``partial-write`` rule fires for sidecar file ``name``."""
+        if self.kind != "partial-write":
+            return False
+        if not fnmatch.fnmatchcase(name, self.tasks):
+            return False
+        if self.rate >= 1.0:
+            return True
+        return hash01(self.seed, self.kind, name) < self.rate
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered tuple of :class:`FaultRule` clauses (first match wins)."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    def __bool__(self) -> bool:
+        """Truthy when the plan holds at least one rule."""
+        return bool(self.rules)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see the module docstring)."""
+        rules: list[FaultRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, rest = clause.partition(":")
+            fields: dict[str, object] = {}
+            if rest:
+                for part in rest.split(","):
+                    key, sep, value = part.partition("=")
+                    key, value = key.strip(), value.strip()
+                    if not sep:
+                        raise ValueError(
+                            f"fault clause field {part!r} is not key=value"
+                        )
+                    if key == "rate":
+                        fields["rate"] = float(value)
+                    elif key == "seed":
+                        fields["seed"] = int(value)
+                    elif key in ("tasks", "attempts"):
+                        fields[key] = value
+                    else:
+                        raise ValueError(
+                            f"unknown fault clause field {key!r} "
+                            f"(expected rate/tasks/attempts/seed)"
+                        )
+            rules.append(FaultRule(kind=kind.strip(), **fields))  # type: ignore[arg-type]
+        return cls(rules=tuple(rules))
+
+    def for_task(self, task_id: str, attempt: int) -> FaultRule | None:
+        """The first crash/exception/timeout rule firing for this execution."""
+        for rule in self.rules:
+            if rule.matches_task(task_id, attempt):
+                return rule
+        return None
+
+    def for_write(self, name: str) -> FaultRule | None:
+        """The first ``partial-write`` rule firing for sidecar file ``name``."""
+        for rule in self.rules:
+            if rule.matches_write(name):
+                return rule
+        return None
+
+
+#: Whether a ``crash`` rule may really ``os._exit`` this process.  Armed only
+#: inside pool workers (:func:`repro.experiments.executor._chunk_worker`);
+#: everywhere else a crash degrades to :class:`InjectedCrash`.
+_process_exit_allowed = False
+
+
+def allow_process_exit(allowed: bool) -> None:
+    """Arm (or disarm) real ``os._exit`` crashes for this process."""
+    global _process_exit_allowed
+    _process_exit_allowed = allowed
+
+
+def fire(rule: FaultRule, task_id: str, attempt: int) -> None:
+    """Execute ``rule``: exit the process or raise the matching exception."""
+    detail = f"injected {rule.kind} ({task_id} attempt {attempt})"
+    if rule.kind == "crash":
+        if _process_exit_allowed:
+            os._exit(86)
+        raise InjectedCrash(detail)
+    if rule.kind == "timeout":
+        raise InjectedTimeout(detail)
+    if rule.kind == "exception":
+        raise InjectedFault(detail)
+    raise ValueError(f"rule kind {rule.kind!r} does not fire at task sites")
+
+
+_active: FaultPlan | None = None
+
+
+def get_plan() -> FaultPlan | None:
+    """The active fault plan, or ``None`` when the harness is inert."""
+    return _active
+
+
+def install_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` process-wide and return the previous one.
+
+    Pool workers forked after this call inherit the plan; spawned workers
+    re-parse ``REPRO_FAULTS`` at import instead, so tests that must survive
+    either start method set both.
+    """
+    global _active
+    previous = _active
+    _active = plan if plan else None
+    return previous
+
+
+def clear_plan() -> None:
+    """Remove the active plan (the harness becomes inert again)."""
+    install_plan(None)
+
+
+_env_spec = os.environ.get(ENV_VAR)
+if _env_spec and _env_spec.strip():  # pragma: no cover - exercised via workers
+    _active = FaultPlan.parse(_env_spec)

@@ -19,7 +19,11 @@ stats dict:
   saw no lookups);
 * ``phases`` — time-in-phase totals per span name from the trace sidecar;
 * ``events`` — counts per event name (e.g. ``batch-fallback``), with
-  fallback reasons broken out.
+  fallback reasons broken out;
+* ``executor`` — the fault-tolerance ledger: in-session retries by reason,
+  pool respawns after worker deaths, quarantined poison tasks, and the
+  chunk ids crash/quarantine records were attributed to (see
+  ``docs/robustness.md``).
 
 :func:`format_stats` renders the dict as the human-readable report;
 ``python -m repro stats --json`` emits it verbatim.
@@ -28,6 +32,7 @@ stats dict:
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -47,17 +52,38 @@ def sidecar_paths(results_path: str | Path) -> tuple[Path, Path]:
 
 
 def load_records(path: str | Path) -> list[dict]:
-    """Result records from a JSONL file (tolerates a truncated tail)."""
-    records: list[dict] = []
+    """Result records from a JSONL file, tolerant of corrupt lines.
+
+    Mirrors :meth:`repro.experiments.store.ResultStore.load`: a truncated
+    final line (interrupted writer) is dropped silently, while undecodable
+    mid-file lines are skipped with one :class:`RuntimeWarning` reporting
+    the dropped count — stats over a damaged file describe every record
+    that survived, not just the prefix before the first bad byte.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
+        lines = handle.read().splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    records: list[dict] = []
+    dropped = 0
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
                 break
+            dropped += 1
+    if dropped:
+        warnings.warn(
+            f"{Path(path).name}: skipped {dropped} undecodable record "
+            f"line{'s' if dropped != 1 else ''} (mid-file corruption); "
+            f"kept {len(records)} valid records",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 
@@ -158,6 +184,18 @@ def fold_stats(results_path: str | Path) -> dict[str, Any]:
 
     retired = _labelled(counters, "batch.rows_retired", "reason")
 
+    crash_chunks: dict[str, int] = {}
+    for record in records:
+        if record.get("status") in ("crashed", "quarantined"):
+            chunk = str(record.get("chunk", "unknown"))
+            crash_chunks[chunk] = crash_chunks.get(chunk, 0) + 1
+    executor = {
+        "retries": _labelled(counters, "executor.retries", "reason"),
+        "pool_respawns": counters.get("executor.pool_respawns", 0),
+        "quarantined": _labelled(counters, "executor.quarantined", "reason"),
+        "crash_chunks": crash_chunks,
+    }
+
     phases: dict[str, dict[str, float]] = {}
     events: dict[str, int] = {}
     for entry in trace:
@@ -179,6 +217,7 @@ def fold_stats(results_path: str | Path) -> dict[str, Any]:
         "engines": engines,
         "caches": caches,
         "rows_retired": retired,
+        "executor": executor,
         "phases": phases,
         "events": events,
         "sidecars": {
@@ -262,6 +301,27 @@ def format_stats(stats: dict[str, Any]) -> str:
             f"{reason}={count}" for reason, count in sorted(stats["rows_retired"].items())
         )
         lines.append(f"  batch rows retired: {retired}")
+
+    executor = stats.get("executor", {})
+    retries = executor.get("retries", {})
+    quarantined = executor.get("quarantined", {})
+    if retries or executor.get("pool_respawns") or quarantined:
+        parts = []
+        if retries:
+            detail = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(retries.items())
+            )
+            parts.append(f"{sum(retries.values())} retries ({detail})")
+        parts.append(f"{executor.get('pool_respawns', 0)} pool respawns")
+        if quarantined:
+            parts.append(f"{sum(quarantined.values())} quarantined")
+        lines.append(f"  fault tolerance: {', '.join(parts)}")
+        if executor.get("crash_chunks"):
+            chunks = ", ".join(
+                f"{chunk}={count}"
+                for chunk, count in sorted(executor["crash_chunks"].items())
+            )
+            lines.append(f"  crash records by chunk: {chunks}")
 
     if stats["phases"]:
         lines.append("time in phase (count / wall s / cpu s):")
