@@ -92,7 +92,7 @@ def token_construction(protocol: StrongBroadcastProtocol) -> BroadcastMachine:
         def __contains__(self, state: object) -> bool:  # type: ignore[override]
             try:
                 return is_initiating(state)  # type: ignore[arg-type]
-            except Exception:
+            except Exception:  # noqa: BLE001 - membership probe: a state the predicate cannot parse is simply "not initiating"
                 return False
 
         def __missing__(self, state: State) -> WeakBroadcast:

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands drive the experiment subsystem end to end:
+Seven subcommands drive the experiment subsystem end to end:
 
 ``list-scenarios``
     Print the scenario registry (``--json`` for machine-readable output).
@@ -20,8 +20,13 @@ Six subcommands drive the experiment subsystem end to end:
     write machine-readable perf artifacts (``BENCH_experiments.json`` and
     ``BENCH_backends.json``).
 ``docs``
-    Regenerate ``docs/scenarios.md`` from the workloads registry
-    (``--check`` verifies the committed file instead — the CI drift gate).
+    Regenerate ``docs/scenarios.md`` from the workloads registry and the
+    metric-catalog block of ``docs/observability.md`` from
+    ``repro.obs.catalog`` (``--check`` verifies the committed files instead
+    — the CI drift gate).
+``lint``
+    Run the repro-lint static invariant checkers over ``src/`` (``--json``
+    for the machine-readable report; see ``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -287,19 +292,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
-    from repro.experiments.docs import check_scenarios_markdown, write_scenarios_markdown
+    from repro.experiments.docs import (
+        check_observability_markdown,
+        check_scenarios_markdown,
+        write_observability_markdown,
+        write_scenarios_markdown,
+    )
 
     if args.check:
         problems = check_scenarios_markdown(args.dir)
+        problems += check_observability_markdown(args.dir)
         if problems:
             for problem in problems:
                 print(f"error: {problem}", file=sys.stderr)
             return 1
-        print(f"{Path(args.dir) / 'scenarios.md'} is up to date with the registry")
+        print(
+            f"{Path(args.dir) / 'scenarios.md'} is up to date with the registry; "
+            f"{Path(args.dir) / 'observability.md'} with the metric catalog"
+        )
         return 0
-    path = write_scenarios_markdown(args.dir)
-    print(f"wrote {path}")
+    for path in (
+        write_scenarios_markdown(args.dir),
+        write_observability_markdown(args.dir),
+    ):
+        print(f"wrote {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    return run_lint(args.paths, as_json=args.json)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -391,6 +414,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the committed catalog instead of writing (exit 1 on drift)",
     )
     p_docs.set_defaults(func=_cmd_docs)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint static invariant checkers "
+        "(see docs/static-analysis.md)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

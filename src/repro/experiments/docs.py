@@ -16,6 +16,10 @@ metadata, each entry probes the *default instance*: which engine the
 its ``run_many``, and the expected verdict of the default parameters.  Those
 facts come from the same resolution code paths production runs use, so they
 are documentation that cannot lie.
+
+The same command (and the same ``--check`` gate) also re-renders the
+metric-catalog block of ``docs/observability.md`` from
+:mod:`repro.obs.catalog` — see the marker helpers at the bottom.
 """
 
 from __future__ import annotations
@@ -145,6 +149,69 @@ def check_scenarios_markdown(directory: str | Path) -> list[str]:
     if path.read_text() != render_scenarios_markdown():
         return [
             f"{path} is stale (the workloads registry changed); "
+            f"run `python -m repro docs` and commit the result"
+        ]
+    return []
+
+
+# --------------------------------------------------------------------- #
+# The metric-catalog block of docs/observability.md.  Unlike scenarios.md
+# the file is mostly hand-written prose; only the section between the two
+# markers is generated (from repro.obs.catalog, the same declarations the
+# metric-catalog lint rule cross-checks call sites against).
+
+METRIC_CATALOG_BEGIN = (
+    "<!-- metric-catalog:begin — generated by `python -m repro docs` from "
+    "repro.obs.catalog; edit the catalog, not this block -->"
+)
+METRIC_CATALOG_END = "<!-- metric-catalog:end -->"
+
+
+def _splice_metric_catalog(text: str) -> str | None:
+    """``text`` with the marker-delimited block re-rendered; None if unmarked."""
+    from repro.obs.catalog import render_markdown
+
+    begin = text.find(METRIC_CATALOG_BEGIN)
+    end = text.find(METRIC_CATALOG_END)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    head = text[: begin + len(METRIC_CATALOG_BEGIN)]
+    return head + "\n" + render_markdown() + text[end:]
+
+
+def write_observability_markdown(directory: str | Path) -> Path:
+    """Re-render the metric-catalog block of ``<directory>/observability.md``."""
+    path = Path(directory) / "observability.md"
+    spliced = _splice_metric_catalog(path.read_text())
+    if spliced is None:
+        raise ValueError(
+            f"{path} is missing the metric-catalog markers "
+            f"({METRIC_CATALOG_BEGIN!r} ... {METRIC_CATALOG_END!r})"
+        )
+    path.write_text(spliced)
+    return path
+
+
+def check_observability_markdown(directory: str | Path) -> list[str]:
+    """Drift problems between the committed metric table and the catalog.
+
+    Same contract as :func:`check_scenarios_markdown`: empty when the
+    marker-delimited block is byte-identical to a fresh
+    :func:`repro.obs.catalog.render_markdown`, problem strings otherwise.
+    """
+    path = Path(directory) / "observability.md"
+    if not path.exists():
+        return [f"{path} does not exist; run `python -m repro docs`"]
+    text = path.read_text()
+    spliced = _splice_metric_catalog(text)
+    if spliced is None:
+        return [
+            f"{path} is missing the metric-catalog markers; re-add "
+            f"{METRIC_CATALOG_BEGIN!r} and {METRIC_CATALOG_END!r}"
+        ]
+    if text != spliced:
+        return [
+            f"{path} metric table is stale (repro.obs.catalog changed); "
             f"run `python -m repro docs` and commit the result"
         ]
     return []

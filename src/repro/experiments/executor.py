@@ -751,7 +751,7 @@ def _run_supervised(
                     future = pool.submit(
                         _chunk_worker, job.tasks, task_timeout, shipped_for(job.tasks)
                     )
-                except Exception as exc:  # pool broke between events
+                except Exception as exc:  # noqa: BLE001 - pool broke between events; the job is requeued and the respawn path handles it
                     queue.appendleft(job)
                     submit_failure = exc
                     break

@@ -1,0 +1,71 @@
+"""Output and exit-code handling behind ``python -m repro lint``.
+
+Thin by design: :func:`run_lint` builds the default checker suite, runs
+:func:`repro.lint.framework.lint_paths`, prints either the human report or
+the stable ``--json`` document, and returns the process exit code — 0 for a
+clean tree, 1 for findings or parse errors.  The argument parsing itself
+lives with the other subcommands in :mod:`repro.experiments.cli`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.lint.framework import Checker, LintReport, lint_paths
+from repro.lint.determinism import DeterminismChecker
+from repro.lint.docstrings import DocstringChecker
+from repro.lint.exceptions import ExceptionHygieneChecker
+from repro.lint.iteration_order import IterationOrderChecker
+from repro.lint.metrics_catalog import MetricCatalogChecker
+from repro.lint.picklability import PicklabilityChecker
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of the full rule suite (cross-file state included)."""
+    return [
+        DeterminismChecker(),
+        IterationOrderChecker(),
+        PicklabilityChecker(),
+        ExceptionHygieneChecker(),
+        MetricCatalogChecker(),
+        DocstringChecker(),
+    ]
+
+
+def render_human(report: LintReport, stream: TextIO) -> None:
+    """Print the human-readable report: one ``path:line: [rule] msg`` line each."""
+    for error in report.errors:
+        print(f"error: {error}", file=stream)
+    for finding in report.findings:
+        print(f"{finding.location}: [{finding.rule}] {finding.message}", file=stream)
+    summary = (
+        f"{len(report.findings)} finding(s), {report.suppressed} suppressed, "
+        f"{report.files_scanned} file(s) scanned"
+    )
+    if report.errors:
+        summary += f", {len(report.errors)} parse error(s)"
+    print(summary, file=stream)
+
+
+def run_lint(
+    paths: Sequence[str],
+    as_json: bool = False,
+    base: Path | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Lint ``paths`` with the default suite; the ``repro lint`` body.
+
+    Returns the exit code: 0 when clean, 1 when any finding or parse error
+    survives suppression.
+    """
+    stream = stream if stream is not None else sys.stdout
+    report = lint_paths(paths or ["src"], default_checkers(), base=base)
+    if as_json:
+        json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    else:
+        render_human(report, stream)
+    return 0 if report.clean else 1

@@ -1,0 +1,119 @@
+"""The ``exception-hygiene`` rule: broad catches must justify or re-raise.
+
+A silent ``except Exception: pass`` inside a sweep turns a real failure into
+a wrong-but-plausible result — the worst outcome for a reproduction toolbox.
+The repo's convention (predating this linter) is that every broad catch
+carries a ``# noqa: BLE001 - <reason>`` justification on the ``except`` line
+saying why swallowing is safe, e.g.::
+
+    except Exception:  # noqa: BLE001 - any pickling failure means "rebuild"
+
+This checker enforces the convention statically:
+
+* every ``except Exception`` / ``except BaseException`` / bare ``except``
+  must either **re-raise** (a ``raise`` statement anywhere in the handler
+  body) or carry a ``noqa: BLE001`` comment **with** justification text
+  after `` - `` — a bare ``# noqa: BLE001`` is itself a finding;
+* ``signal.SIGALRM`` / ``signal.signal`` / ``signal.setitimer`` /
+  ``signal.alarm`` access is confined to the ``_Alarm`` helper
+  (:mod:`repro.experiments.executor`) — process-wide signal state installed
+  anywhere else would silently clobber the watchdog.
+
+Narrow catches (``except ValueError``) are never flagged; the rule targets
+the catch-alls that can hide programming errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.framework import Checker, FileContext, Finding
+
+_NOQA_RE = re.compile(r"noqa:\s*BLE001(?P<rest>.*)$")
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: ``signal`` attributes whose use outside ``_Alarm`` clobbers the watchdog.
+_SIGNAL_ATTRS = {"SIGALRM", "signal", "setitimer", "alarm"}
+
+
+def _is_broad(handler_type: ast.AST | None) -> bool:
+    """Whether an except clause catches Exception/BaseException/everything."""
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains any ``raise`` statement."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class ExceptionHygieneChecker(Checker):
+    """Flag unjustified broad excepts and stray SIGALRM manipulation."""
+
+    rule = "exception-hygiene"
+    description = (
+        "broad except clauses must re-raise or carry a justified "
+        "'# noqa: BLE001 - <reason>' comment; SIGALRM stays inside _Alarm"
+    )
+    node_types = (ast.ExceptHandler, ast.Attribute)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Dispatch to the except-clause or signal-attribute handler."""
+        if isinstance(node, ast.ExceptHandler):
+            return self._check_handler(node, ctx)
+        return self._check_signal(node, ctx)
+
+    # ------------------------------------------------------------------ #
+    def _check_handler(
+        self, handler: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if not _is_broad(handler.type):
+            return
+        if _reraises(handler):
+            return
+        caught = "bare except" if handler.type is None else "except Exception"
+        comment = ctx.comments.get(handler.lineno, "")
+        match = _NOQA_RE.search(comment)
+        if match is None:
+            yield ctx.finding(
+                self.rule,
+                handler,
+                f"{caught} neither re-raises nor carries a justification; "
+                f"add '# noqa: BLE001 - <why swallowing is safe>' or narrow "
+                f"the exception type",
+            )
+            return
+        rest = match.group("rest").strip()
+        if not rest.startswith("-") or not rest.lstrip("- ").strip():
+            yield ctx.finding(
+                self.rule,
+                handler,
+                f"{caught} has a bare 'noqa: BLE001' with no justification; "
+                f"write '# noqa: BLE001 - <why swallowing is safe>'",
+            )
+
+    def _check_signal(
+        self, node: ast.Attribute, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if (
+            not isinstance(node.value, ast.Name)
+            or node.value.id != "signal"
+            or node.attr not in _SIGNAL_ATTRS
+        ):
+            return
+        if ctx.in_class("_Alarm"):
+            return
+        yield ctx.finding(
+            self.rule,
+            node,
+            f"signal.{node.attr} used outside _Alarm; process-wide signal "
+            f"state belongs to the executor's watchdog helper only",
+        )

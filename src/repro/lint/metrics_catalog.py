@@ -1,0 +1,141 @@
+"""The ``metric-catalog`` rule: call sites and the declared catalog agree.
+
+The cross-file checker of the suite.  While walking it accumulates two
+project-wide inventories:
+
+* **emissions** — every ``.counter("name", ...)`` / ``.gauge(...)`` /
+  ``.histogram(...)`` call whose first argument is a string literal, from
+  any scanned file;
+* **declarations** — every ``MetricSpec(names=(...), ...)`` constructor call
+  in ``repro/obs/catalog.py``, read from the AST (the scanned code is never
+  imported) so the finding anchors at the real declaration line.
+
+:meth:`finish` then cross-checks bidirectionally: an **emitted-undeclared**
+name fails at the call site (the docs table would silently miss it), a
+**declared-never-emitted** name fails at its ``MetricSpec`` line (the docs
+table would advertise a metric nothing produces), and an emission whose
+method disagrees with the declared ``kind`` fails too (a ``gauge`` call on a
+declared counter is a different wire type).
+
+Dynamic names (``.counter(variable)``) are invisible to this rule by
+construction; the codebase's convention is literal names with variable
+*labels*, which is exactly what keys the catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.framework import Checker, FileContext, Finding
+
+_EMIT_METHODS = {"counter", "gauge", "histogram"}
+
+#: The file whose ``MetricSpec(...)`` calls are the declarations.
+CATALOG_FILE_SUFFIX = "repro/obs/catalog.py"
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One harvested emission or declaration: a name at ``path:line``."""
+
+    name: str
+    path: str
+    line: int
+    kind: str
+
+
+class MetricCatalogChecker(Checker):
+    """Cross-check metric call sites against ``repro.obs.catalog``."""
+
+    rule = "metric-catalog"
+    description = (
+        "every emitted metric name must be declared in repro/obs/catalog.py "
+        "and every declared metric must be emitted somewhere"
+    )
+    node_types = (ast.Call,)
+
+    def __init__(self) -> None:
+        self._emissions: list[_Site] = []
+        self._declarations: list[_Site] = []
+        self._saw_catalog = False
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Harvest emission / declaration call sites; findings wait for finish."""
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _EMIT_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self._emissions.append(
+                _Site(node.args[0].value, ctx.rel, node.lineno, func.attr)
+            )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "MetricSpec"
+            and ctx.rel.endswith(CATALOG_FILE_SUFFIX)
+        ):
+            self._saw_catalog = True
+            self._declarations.extend(self._spec_names(node, ctx))
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """The bidirectional cross-check, after every file was walked."""
+        if not self._saw_catalog:
+            # Linting a subtree without the catalog (e.g. a fixture dir in
+            # tests): nothing to cross-check against, stay silent.
+            return
+        declared = {site.name: site for site in self._declarations}
+        emitted_names = {site.name for site in self._emissions}
+        for site in self._emissions:
+            spec = declared.get(site.name)
+            if spec is None:
+                yield Finding(
+                    self.rule,
+                    site.path,
+                    site.line,
+                    f"metric {site.name!r} is emitted here but not declared "
+                    f"in repro/obs/catalog.py; declare it so the docs table "
+                    f"covers it",
+                )
+            elif spec.kind != site.kind:
+                yield Finding(
+                    self.rule,
+                    site.path,
+                    site.line,
+                    f"metric {site.name!r} is emitted as a {site.kind} but "
+                    f"declared as a {spec.kind} in repro/obs/catalog.py",
+                )
+        for site in self._declarations:
+            if site.name not in emitted_names:
+                yield Finding(
+                    self.rule,
+                    site.path,
+                    site.line,
+                    f"metric {site.name!r} is declared in the catalog but "
+                    f"never emitted anywhere in the scanned tree; remove the "
+                    f"declaration or emit it",
+                )
+
+    # ------------------------------------------------------------------ #
+    def _spec_names(self, node: ast.Call, ctx: FileContext) -> Iterable[_Site]:
+        """The declared names (and kind) of one ``MetricSpec(...)`` call."""
+        names_value: ast.AST | None = None
+        kind = "counter"
+        for keyword in node.keywords:
+            if keyword.arg == "names":
+                names_value = keyword.value
+            elif keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+                kind = str(keyword.value.value)
+        if names_value is None and node.args:
+            names_value = node.args[0]
+        if not isinstance(names_value, (ast.Tuple, ast.List)):
+            return
+        for element in names_value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                yield _Site(element.value, ctx.rel, element.lineno, kind)

@@ -26,6 +26,14 @@ and events like::
 
     {"type": "event", "name": "batch-fallback", "time": 1722988800.0,
      "reason": "schedule-factory", ...fields}
+
+Timestamps are **monotonically derived**: each :class:`Tracer` reads the
+wall clock exactly once at construction, pairs it with a
+``time.perf_counter()`` epoch, and stamps every span start and event as
+``epoch_wall + (perf_now - epoch_perf)``.  Stamps stay wall-clock-meaningful
+(they anchor near the real start time) but can never run backwards within a
+trace — an NTP step mid-sweep shifts nothing, where raw ``time.time()``
+reads could make a child span appear to start before its parent.
 """
 
 from __future__ import annotations
@@ -64,7 +72,7 @@ class TraceWriter:
 class _Span:
     """Context-manager handle for one in-flight span (created by Tracer.span)."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_start_wall", "_start_cpu", "_start_at")
+    __slots__ = ("_tracer", "name", "attrs", "_start_wall", "_start_cpu")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
         self._tracer = tracer
@@ -73,7 +81,6 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._tracer._stack.append(self.name)
-        self._start_at = time.time()
         self._start_cpu = time.process_time()
         self._start_wall = time.perf_counter()
         return self
@@ -88,7 +95,7 @@ class _Span:
             "name": self.name,
             "parent": stack[-1] if stack else None,
             "depth": len(stack),
-            "start": round(self._start_at, 6),
+            "start": round(self._tracer._wall_at(self._start_wall), 6),
             "wall": round(wall, 6),
             "cpu": round(cpu, 6),
         }
@@ -123,6 +130,15 @@ class Tracer:
         self.sink = sink
         self.records: list[dict[str, Any]] = []
         self._stack: list[str] = []
+        # The one wall-clock read this tracer ever makes: all span starts
+        # and event times are derived from perf_counter against this pair,
+        # so stamps cannot run backwards across an NTP step (module doc).
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+
+    def _wall_at(self, perf_now: float) -> float:
+        """The derived wall-clock stamp for a ``perf_counter`` reading."""
+        return self._epoch_wall + (perf_now - self._epoch_perf)
 
     def span(self, name: str, **attrs: Any) -> _Span:
         """A context manager timing the named phase (nests via a stack)."""
@@ -130,7 +146,11 @@ class Tracer:
 
     def event(self, name: str, **fields: Any) -> None:
         """Record a one-line log-style event (no duration)."""
-        record = {"type": "event", "name": name, "time": round(time.time(), 6)}
+        record = {
+            "type": "event",
+            "name": name,
+            "time": round(self._wall_at(time.perf_counter()), 6),
+        }
         record.update(fields)
         self._emit(record)
 

@@ -288,6 +288,25 @@ class TestTracing:
         (record,) = tracer.records
         assert record["type"] == "event" and record["reason"] == "record-trace"
 
+    def test_timestamps_derive_monotonically_from_one_epoch(self, monkeypatch):
+        from repro.obs import tracing as tracing_module
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        # Simulate an NTP step: the wall clock jumps far backwards after the
+        # tracer captured its epoch.  Derived stamps must not follow it.
+        monkeypatch.setattr(
+            tracing_module.time, "time", lambda: tracer._epoch_wall - 3600.0
+        )
+        tracer.event("first")
+        with span("phase"):
+            pass
+        tracer.event("second")
+        event_one, phase, event_two = tracer.records
+        assert event_one["time"] >= tracer._epoch_wall
+        assert phase["start"] >= event_one["time"]
+        assert event_two["time"] >= phase["start"]
+
     def test_trace_to_appends_and_restores(self, tmp_path):
         path = tmp_path / "out.trace.jsonl"
         before = get_tracer()

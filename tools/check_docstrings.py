@@ -1,124 +1,43 @@
-"""pydocstyle-lite: enforce docstrings on the public simulation surface.
+"""pydocstyle-lite shim: the docstring rule now lives in ``repro.lint``.
 
 Usage::
 
     python tools/check_docstrings.py [ROOT ...]
 
-Walks the given package roots (default: ``src/repro/workloads``,
-``src/repro/core`` and ``src/repro/obs`` — the public API, the engine layer
-whose invariants the rest of the repo builds on, and the observability
-layer) and asserts, via ``ast`` (no imports, so a syntax-error-free tree is
-the only requirement):
+The real logic migrated into :mod:`repro.lint.docstrings`, where it runs as
+the ``docstrings`` rule of ``python -m repro lint`` (single parse, single
+traversal, shared with the other checkers).  This shim keeps the historical
+entry point — and the ``DEFAULT_ROOTS`` / ``check_roots`` / ``check_file``
+API that ``tests/test_docstrings.py`` imports — stable.
 
-* every module has a module docstring;
-* every public class (name not starting with ``_``) has a docstring;
-* every public module-level function has a docstring;
-* on the *strict* surface — ``repro/workloads`` and ``repro/obs`` plus the
-  batch engine modules (``core/batch.py``, ``core/vector_batch.py``,
-  ``core/vector_pernode.py``, ``core/streaks.py``) — every public method of a public class has a
-  docstring too, except trivial dunders (``__init__`` and friends may lean
-  on the class docstring).
-
-Exit status is the number of violations (0 = clean).  Run by CI and by
-``tests/test_docstrings.py``, so a missing docstring fails tier-1.
+Exit status is the number of violations (0 = clean), capped at 125.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-DEFAULT_ROOTS = ("src/repro/workloads", "src/repro/core", "src/repro/obs")
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Path fragments whose public *methods* must be documented as well — the
-#: unified Workload API and the batch/streak engine modules whose
-#: invariants (seed derivation, bit-identity) live in prose.
-STRICT_FRAGMENTS = (
-    "repro/workloads/",
-    "repro/obs/",
-    "repro/core/batch.py",
-    "repro/core/vector_batch.py",
-    "repro/core/vector_pernode.py",
-    "repro/core/streaks.py",
+from repro.lint.docstrings import (  # noqa: E402  (path bootstrap above)
+    ALLOWED_UNDOCUMENTED_DUNDERS,
+    DEFAULT_ROOTS,
+    STRICT_FRAGMENTS,
+    check_file,
+    check_roots,
 )
 
-#: Dunder methods whose behaviour is defined by the data model; requiring a
-#: docstring on each would add noise, not information.
-ALLOWED_UNDOCUMENTED_DUNDERS = {
-    "__init__",
-    "__post_init__",
-    "__repr__",
-    "__str__",
-    "__eq__",
-    "__ne__",
-    "__hash__",
-    "__iter__",
-    "__len__",
-    "__contains__",
-    "__getitem__",
-    "__enter__",
-    "__exit__",
-    "__getstate__",
-    "__setstate__",
-}
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _needs_docstring(name: str) -> bool:
-    if name.startswith("__") and name.endswith("__"):
-        return name not in ALLOWED_UNDOCUMENTED_DUNDERS
-    return _is_public(name)
-
-
-def check_file(path: Path) -> list[str]:
-    """Violation descriptions for one Python source file."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    strict = any(str(path).endswith(f) or f in str(path) for f in STRICT_FRAGMENTS)
-    problems: list[str] = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"{path}: missing module docstring")
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if _is_public(node.name) and ast.get_docstring(node) is None:
-                problems.append(
-                    f"{path}:{node.lineno}: public function {node.name!r} "
-                    f"missing docstring"
-                )
-        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
-            if ast.get_docstring(node) is None:
-                problems.append(
-                    f"{path}:{node.lineno}: public class {node.name!r} "
-                    f"missing docstring"
-                )
-            if not strict:
-                continue
-            for member in node.body:
-                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                if _needs_docstring(member.name) and ast.get_docstring(member) is None:
-                    problems.append(
-                        f"{path}:{member.lineno}: public method "
-                        f"{node.name}.{member.name} missing docstring"
-                    )
-    return problems
-
-
-def check_roots(roots=DEFAULT_ROOTS, base: Path | None = None) -> list[str]:
-    """Violations across every ``.py`` file under the given roots."""
-    base = base if base is not None else Path(__file__).resolve().parent.parent
-    problems: list[str] = []
-    for root in roots:
-        root_path = base / root
-        if not root_path.exists():
-            problems.append(f"{root_path}: root does not exist")
-            continue
-        for path in sorted(root_path.rglob("*.py")):
-            problems.extend(check_file(path))
-    return problems
+__all__ = [
+    "ALLOWED_UNDOCUMENTED_DUNDERS",
+    "DEFAULT_ROOTS",
+    "STRICT_FRAGMENTS",
+    "check_file",
+    "check_roots",
+    "main",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
