@@ -444,6 +444,201 @@ def random_connected_graph(
     return LabeledGraph.build(alphabet, shuffled_labels, edges, name)
 
 
+def _connect_components(
+    rng: random.Random, n: int, edges: list[tuple[Node, Node]]
+) -> list[tuple[Node, Node]]:
+    """``edges`` plus the fewest extra edges needed to connect ``0..n-1``.
+
+    Random families like G(n, p) and rewired ring lattices can come out
+    disconnected; the paper convention requires connected graphs, so the
+    generators repair the sample instead of rejecting it (rejection sampling
+    has unbounded running time at low densities).  One random representative
+    of each extra component is joined to a random node of the first
+    component, which preserves the family's local structure everywhere else.
+    """
+    parent = list(range(n))
+
+    def find(x: Node) -> Node:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    components: dict[Node, list[Node]] = {}
+    for node in range(n):
+        components.setdefault(find(node), []).append(node)
+    roots = sorted(components, key=lambda r: components[r][0])
+    anchor_component = components[roots[0]]
+    repaired = list(edges)
+    for root in roots[1:]:
+        repaired.append(
+            (rng.choice(anchor_component), rng.choice(components[root]))
+        )
+    return repaired
+
+
+def erdos_renyi_graph(
+    alphabet: Alphabet,
+    labels: Sequence[Label],
+    edge_probability: float = 0.5,
+    seed: int | None = None,
+    name: str = "erdos-renyi",
+) -> LabeledGraph:
+    """A connected Erdős–Rényi graph ``G(n, p)`` with the given labels.
+
+    Each of the ``n(n-1)/2`` possible edges is included independently with
+    ``edge_probability``; if the sample is disconnected it is repaired by
+    :func:`_connect_components`.  Label positions are shuffled, as in
+    :func:`random_connected_graph`.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    n = len(labels)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < edge_probability
+    ]
+    edges = _connect_components(rng, n, edges)
+    shuffled_labels = list(labels)
+    rng.shuffle(shuffled_labels)
+    return LabeledGraph.build(alphabet, shuffled_labels, edges, name)
+
+
+def barabasi_albert_graph(
+    alphabet: Alphabet,
+    labels: Sequence[Label],
+    attachment: int = 2,
+    seed: int | None = None,
+    name: str = "barabasi-albert",
+) -> LabeledGraph:
+    """A Barabási–Albert preferential-attachment graph (connected by construction).
+
+    Starts from a clique on ``attachment + 1`` nodes; every further node
+    attaches to ``attachment`` distinct existing nodes chosen with
+    probability proportional to their current degree (sampled from the
+    standard repeated-endpoints urn).  Produces the scale-free degree
+    distributions the bounded-degree results contrast with.
+    """
+    n = len(labels)
+    if attachment < 1:
+        raise ValueError("attachment must be at least 1")
+    if n < attachment + 1:
+        raise ValueError("need at least attachment + 1 nodes")
+    rng = random.Random(seed)
+    core = attachment + 1
+    edges = [(u, v) for u in range(core) for v in range(u + 1, core)]
+    urn: list[Node] = [endpoint for edge in edges for endpoint in edge]
+    for node in range(core, n):
+        targets: set[Node] = set()
+        while len(targets) < attachment:
+            targets.add(rng.choice(urn))
+        for target in sorted(targets):
+            edges.append((target, node))
+            urn.extend((target, node))
+    shuffled_labels = list(labels)
+    rng.shuffle(shuffled_labels)
+    return LabeledGraph.build(alphabet, shuffled_labels, edges, name)
+
+
+def random_regular_graph(
+    alphabet: Alphabet,
+    labels: Sequence[Label],
+    degree: int = 3,
+    seed: int | None = None,
+    name: str = "random-regular",
+    max_attempts: int = 1000,
+) -> LabeledGraph:
+    """A uniformly random connected ``degree``-regular graph (pairing model).
+
+    Repeatedly shuffles the ``n · degree`` half-edge stubs into a perfect
+    matching and keeps the first sample that is simple (no loops or parallel
+    edges) and connected.  ``n · degree`` must be even and ``degree < n``.
+    Regular graphs are the cleanest stress test for degree-based arguments:
+    every node sees exactly ``degree`` neighbours.
+    """
+    n = len(labels)
+    if degree < 2:
+        raise ValueError("degree must be at least 2 to connect 3+ nodes")
+    if degree >= n:
+        raise ValueError("degree must be smaller than the node count")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even (handshake lemma)")
+    rng = random.Random(seed)
+    stubs = [node for node in range(n) for _ in range(degree)]
+    for _ in range(max_attempts):
+        rng.shuffle(stubs)
+        pairs = [
+            (min(stubs[i], stubs[i + 1]), max(stubs[i], stubs[i + 1]))
+            for i in range(0, len(stubs), 2)
+        ]
+        if any(u == v for u, v in pairs) or len(set(pairs)) != len(pairs):
+            continue
+        candidate = LabeledGraph.build(alphabet, labels, pairs, name)
+        if candidate.is_connected():
+            shuffled_labels = list(labels)
+            rng.shuffle(shuffled_labels)
+            return candidate.relabel(shuffled_labels)
+    raise ValueError(
+        f"no simple connected {degree}-regular graph on {n} nodes found "
+        f"in {max_attempts} pairing attempts"
+    )
+
+
+def watts_strogatz_graph(
+    alphabet: Alphabet,
+    labels: Sequence[Label],
+    neighbours: int = 2,
+    rewire_probability: float = 0.1,
+    seed: int | None = None,
+    name: str = "watts-strogatz",
+) -> LabeledGraph:
+    """A connected Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every node is joined to its
+    ``neighbours // 2`` nearest nodes on each side, then rewires the far
+    endpoint of each lattice edge with ``rewire_probability`` (skipping
+    rewirings that would create loops or parallel edges).  Rewiring can
+    disconnect the ring, so the sample is repaired by
+    :func:`_connect_components`.
+    """
+    n = len(labels)
+    if neighbours < 2 or neighbours % 2 != 0:
+        raise ValueError("neighbours must be a positive even number")
+    if neighbours >= n:
+        raise ValueError("neighbours must be smaller than the node count")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    edge_set: set[tuple[Node, Node]] = set()
+    for node in range(n):
+        for offset in range(1, neighbours // 2 + 1):
+            other = (node + offset) % n
+            edge_set.add((min(node, other), max(node, other)))
+    for edge in sorted(edge_set):
+        if rng.random() >= rewire_probability:
+            continue
+        u, _v = edge
+        candidates = [
+            w
+            for w in range(n)
+            if w != u and (min(u, w), max(u, w)) not in edge_set
+        ]
+        if not candidates:
+            continue
+        edge_set.remove(edge)
+        w = rng.choice(candidates)
+        edge_set.add((min(u, w), max(u, w)))
+    edges = _connect_components(rng, n, sorted(edge_set))
+    shuffled_labels = list(labels)
+    rng.shuffle(shuffled_labels)
+    return LabeledGraph.build(alphabet, shuffled_labels, edges, name)
+
+
 def ring_of_cliques(
     alphabet: Alphabet,
     clique_sizes: Sequence[int],

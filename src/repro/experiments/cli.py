@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands drive the experiment subsystem end to end:
+Eight subcommands drive the experiment subsystem end to end:
 
 ``list-scenarios``
     Print the scenario registry (``--json`` for machine-readable output).
@@ -27,6 +27,12 @@ Seven subcommands drive the experiment subsystem end to end:
 ``lint``
     Run the repro-lint static invariant checkers over ``src/`` (``--json``
     for the machine-readable report; see ``docs/static-analysis.md``).
+``fuzz``
+    Differentially fuzz random (machine, graph, property) triples against
+    every eligible engine rung and the exact decide procedure, shrinking
+    any disagreement to a replayable counterexample (see
+    ``docs/fuzzing.md``); exits non-zero on findings — the CI fuzz-smoke
+    gate.
 """
 
 from __future__ import annotations
@@ -325,6 +331,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args.paths, as_json=args.json)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import fuzz_run, render_json, render_text, write_replay
+
+    if args.budget < 1:
+        print("error: --budget must be at least 1", file=sys.stderr)
+        return 2
+    report = fuzz_run(budget=args.budget, seed=args.seed, shrink=not args.no_shrink)
+    print(render_json(report) if args.json else render_text(report))
+    if args.replay_dir:
+        for index, document in enumerate(report.findings):
+            path = write_replay(
+                Path(args.replay_dir) / f"finding-{index:03d}.json", document
+            )
+            print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -430,6 +453,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the machine-readable report"
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz random (machine, graph, property) triples "
+        "against every engine rung and the exact decide procedure",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=int, default=200, help="number of triples to sample"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    p_fuzz.add_argument("--json", action="store_true", help="machine-readable output")
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report findings unshrunk (faster triage loop)",
+    )
+    p_fuzz.add_argument(
+        "--replay-dir",
+        default=None,
+        help="write one replay JSON per finding into this directory",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -110,15 +110,22 @@ def _scenario_section(scenario) -> str:
 def render_scenarios_markdown() -> str:
     """The full ``docs/scenarios.md`` content, deterministically rendered."""
     from repro.workloads import KINDS, list_scenarios
+    from repro.workloads.catalog import GRAPH_FAMILIES
 
     scenarios = list_scenarios()
     kinds = ", ".join(
         f"{kind} ({sum(1 for s in scenarios if s.kind == kind)})" for kind in KINDS
     )
+    families = ", ".join(f"`{family}`" for family in GRAPH_FAMILIES)
     parts = [
         HEADER,
         f"**{len(scenarios)} scenarios** over the registry's workload kinds: "
         f"{kinds}.",
+        "",
+        f"Scenarios with a `graph` parameter accept any registered graph "
+        f"family: {families}.  The random families are seeded via "
+        f"`graph_seed`; `max_degree` and `graph_density` are the structural "
+        f"knobs (see [fuzzing.md](fuzzing.md) for the generator grammar).",
         "",
     ]
     for scenario in scenarios:

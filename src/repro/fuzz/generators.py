@@ -1,0 +1,223 @@
+"""Seeded samplers for fuzz triples: machines, graphs and matched properties.
+
+Every sampler draws from an explicitly injected :class:`random.Random`
+(never global state), so a triple is a pure function of its seed and the
+whole fuzz run replays byte-for-byte.  The machine grammar spans the three
+families the ISSUE calls for:
+
+* **random β-capped transition tables** — sparse tables over 2–4 states via
+  :func:`repro.core.machine.table_machine` (unspecified entries silent);
+  these carry no declared property, so only the engine-agreement checks
+  apply;
+* **construction terms** — ``exists-label`` / ``threshold-daf`` / support
+  machines and boolean combinators over them, each paired with the
+  ``properties/`` object it decides (threshold, semilinear, cutoff-1), so
+  the exact-decision verdict is additionally checked against ground truth;
+* **NL automata** — the Lemma 5.1 token construction over the ∃-label
+  strong-broadcast protocol, restricted to very small graphs (its state
+  space is a three-layer product).
+
+Graphs are drawn from all registered families, including the random
+families added for the fuzzer (Erdős–Rényi, Barabási–Albert, random
+regular, Watts–Strogatz).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Graph families the sampler draws from (explicit-clique excluded: the
+#: fuzzer always materialises real edge lists so every rung is eligible).
+GRAPH_FAMILIES = (
+    "cycle",
+    "line",
+    "star",
+    "clique",
+    "random",
+    "erdos-renyi",
+    "barabasi-albert",
+    "random-regular",
+    "watts-strogatz",
+)
+
+#: Machine kinds with sampling weights; table machines dominate because they
+#: are the cheapest way to explore engine behaviour off the happy path.
+MACHINE_KINDS = (
+    ("table", 8),
+    ("exists-label", 3),
+    ("threshold-daf", 3),
+    ("support", 2),
+    ("negation", 2),
+    ("conjunction", 1),
+    ("disjunction", 1),
+    ("nl-exists", 1),
+)
+
+
+def _weighted_choice(rng: random.Random, weighted: tuple) -> str:
+    total = sum(weight for _, weight in weighted)
+    pick = rng.randrange(total)
+    for value, weight in weighted:
+        pick -= weight
+        if pick < 0:
+            return value
+    raise AssertionError("unreachable")
+
+
+# --------------------------------------------------------------------- #
+# Graphs
+# --------------------------------------------------------------------- #
+def sample_graph_descriptor(
+    rng: random.Random, min_nodes: int = 3, max_nodes: int = 7
+) -> dict:
+    """A random graph descriptor: family, labels and family parameters."""
+    n = rng.randint(min_nodes, max_nodes)
+    labels = [rng.choice(("a", "b")) for _ in range(n)]
+    family = GRAPH_FAMILIES[rng.randrange(len(GRAPH_FAMILIES))]
+    params: dict = {}
+    if family == "random":
+        params["max_degree"] = rng.randint(2, 4)
+    elif family == "erdos-renyi":
+        params["edge_probability"] = rng.choice((0.3, 0.5, 0.8))
+    elif family == "barabasi-albert":
+        params["attachment"] = rng.randint(1, min(2, n - 1))
+    elif family == "random-regular":
+        degree = rng.randint(2, min(3, n - 1))
+        if (n * degree) % 2 != 0:
+            degree = 2
+        params["degree"] = degree
+    elif family == "watts-strogatz":
+        params["neighbours"] = 2
+        params["rewire_probability"] = rng.choice((0.1, 0.3, 0.5))
+    return {
+        "kind": "family",
+        "family": family,
+        "labels": labels,
+        "seed": rng.randrange(2**32),
+        "params": params,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Machines (and their matched properties)
+# --------------------------------------------------------------------- #
+def sample_table_machine_descriptor(rng: random.Random) -> dict:
+    """A sparse random transition table over 2–4 states with β ∈ {1, 2}."""
+    beta = rng.choice((1, 2))
+    states = [f"q{i}" for i in range(rng.randint(2, 4))]
+    init = {"a": rng.choice(states), "b": rng.choice(states)}
+    transitions = []
+    seen = set()
+    for _ in range(rng.randint(2, 8)):
+        state = rng.choice(states)
+        view_size = rng.randint(1, min(2, len(states)))
+        view_states = rng.sample(states, view_size)
+        items = sorted(
+            (view_state, rng.randint(1, beta)) for view_state in view_states
+        )
+        key = (state, tuple(items))
+        if key in seen:
+            continue
+        seen.add(key)
+        transitions.append([state, [list(item) for item in items], rng.choice(states)])
+    accepting, rejecting = [], []
+    for state in states:
+        role = rng.random()
+        if role < 0.4:
+            accepting.append(state)
+        elif role < 0.8:
+            rejecting.append(state)
+    return {
+        "kind": "table",
+        "beta": beta,
+        "states": states,
+        "init": init,
+        "transitions": transitions,
+        "accepting": accepting,
+        "rejecting": rejecting,
+    }
+
+
+def _sample_leaf_pair(rng: random.Random) -> tuple[dict, dict]:
+    """A leaf construction machine with the property it decides."""
+    label = rng.choice(("a", "b"))
+    roll = rng.random()
+    if roll < 0.4:
+        return {"kind": "exists-label", "label": label}, {
+            "kind": "exists",
+            "label": label,
+        }
+    k = rng.randint(1, 3)
+    property_kind = "semilinear-threshold" if rng.random() < 0.5 else "at-least-k"
+    return {"kind": "threshold-daf", "label": label, "k": k}, {
+        "kind": property_kind,
+        "label": label,
+        "k": k,
+    }
+
+
+def _sample_cutoff1_property(rng: random.Random) -> dict:
+    """A property for the support machine: cutoff-1 of a random child."""
+    label = rng.choice(("a", "b"))
+    roll = rng.random()
+    if roll < 0.4:
+        child: dict = {"kind": "exists", "label": label}
+    elif roll < 0.7:
+        child = {"kind": "parity", "label": label, "even": rng.random() < 0.5}
+    else:
+        child = {"kind": "majority", "strict": rng.random() < 0.5}
+    return {"kind": "cutoff1", "child": child}
+
+
+def sample_machine_and_property(rng: random.Random) -> tuple[str, dict, dict | None]:
+    """``(kind, machine_descriptor, property_descriptor_or_None)``."""
+    kind = _weighted_choice(rng, MACHINE_KINDS)
+    if kind == "table":
+        return kind, sample_table_machine_descriptor(rng), None
+    if kind in ("exists-label", "threshold-daf"):
+        machine, prop = _sample_leaf_pair(rng)
+        # _sample_leaf_pair rolls its own leaf kind; keep whichever came out.
+        return machine["kind"], machine, prop
+    if kind == "support":
+        prop = _sample_cutoff1_property(rng)
+        return kind, {"kind": "support", "property": prop["child"]}, prop
+    if kind == "negation":
+        child_machine, child_prop = _sample_leaf_pair(rng)
+        return (
+            kind,
+            {"kind": "negation", "child": child_machine},
+            {"kind": "not", "child": child_prop},
+        )
+    if kind in ("conjunction", "disjunction"):
+        first_machine, first_prop = _sample_leaf_pair(rng)
+        second_machine, second_prop = _sample_leaf_pair(rng)
+        return (
+            kind,
+            {"kind": kind, "children": [first_machine, second_machine]},
+            {
+                "kind": "and" if kind == "conjunction" else "or",
+                "children": [first_prop, second_prop],
+            },
+        )
+    if kind == "nl-exists":
+        label = rng.choice(("a", "b"))
+        return kind, {"kind": "nl-exists", "label": label}, {
+            "kind": "exists",
+            "label": label,
+        }
+    raise AssertionError(f"unhandled machine kind {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# Triples
+# --------------------------------------------------------------------- #
+def sample_triple(seed: int) -> dict:
+    """The triple descriptor for one fuzz case — a pure function of ``seed``."""
+    rng = random.Random(seed)
+    kind, machine, prop = sample_machine_and_property(rng)
+    # The NL token construction's state space is a three-layer product;
+    # keep its graphs tiny so the exact decision stays within budget often
+    # enough to be worth running.
+    max_nodes = 4 if kind == "nl-exists" else 7
+    graph = sample_graph_descriptor(rng, max_nodes=max_nodes)
+    return {"machine": machine, "graph": graph, "property": prop}

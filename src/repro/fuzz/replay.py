@@ -1,0 +1,67 @@
+"""Replay documents: serialised counterexamples the test suite reruns verbatim.
+
+A replay document is the JSON form of one (shrunk) oracle finding plus the
+exact :class:`~repro.fuzz.oracle.OracleConfig` it was found under.  Two
+consumers:
+
+* the fuzz CLI writes one file per finding (``--replay-dir``), so a red CI
+  run leaves behind everything needed to reproduce it locally;
+* ``tests/fixtures/fuzz/`` holds documents from *fixed* bugs; the tier-1
+  regression test replays every fixture and asserts the current tree passes
+  it clean (:func:`run_replay` returning no findings).
+
+Documents are versioned; :func:`run_replay` rejects unknown versions rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.oracle import EngineRung, Finding, OracleConfig, check_triple
+
+#: Current replay document schema version.
+REPLAY_VERSION = 1
+
+
+def replay_document(finding: Finding, config: OracleConfig) -> dict:
+    """The self-contained JSON document for one finding."""
+    return {
+        "version": REPLAY_VERSION,
+        "finding": finding.to_dict(),
+        "config": config.to_dict(),
+    }
+
+
+def run_replay(
+    document: dict, rungs: tuple[EngineRung, ...] | None = None
+) -> list[Finding]:
+    """Re-run the oracle on a replay document's triple; returns its findings.
+
+    An empty list means the recorded disagreement no longer reproduces
+    (the regression-fixture contract); a non-empty list carries the live
+    findings for inspection.
+    """
+    version = document.get("version")
+    if version != REPLAY_VERSION:
+        raise ValueError(
+            f"unsupported replay document version {version!r} "
+            f"(this tree understands {REPLAY_VERSION})"
+        )
+    config = OracleConfig.from_dict(document["config"])
+    triple = document["finding"]["triple"]
+    return check_triple(triple, config, rungs).findings
+
+
+def write_replay(path: str | Path, document: dict) -> Path:
+    """Write a replay document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_replay(path: str | Path) -> dict:
+    """Load a replay document from disk."""
+    return json.loads(Path(path).read_text())

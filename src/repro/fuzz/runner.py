@@ -1,0 +1,120 @@
+"""The fuzz campaign loop behind ``python -m repro fuzz``.
+
+:func:`fuzz_run` drives ``budget`` cases: derive the case seed
+(:func:`repro.core.batch.derive_seed`, the same per-run seed discipline as
+batches), sample a triple, run the differential oracle, shrink any findings
+and wrap them as replay documents.  The report is rendered without
+timestamps or wall-clock anywhere, so two runs with the same budget and
+seed are byte-identical — the CI fuzz-smoke step relies on this to diff a
+rerun against itself when triaging.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.batch import derive_seed
+from repro.fuzz.generators import sample_triple
+from repro.fuzz.oracle import (
+    EngineRung,
+    OracleConfig,
+    check_triple,
+    with_run_seed,
+)
+from repro.fuzz.replay import replay_document
+from repro.fuzz.shrink import shrink_triple
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzz campaign."""
+
+    seed: int
+    budget: int
+    counters: dict = field(default_factory=dict)
+    findings: list = field(default_factory=list)  # replay documents
+
+    @property
+    def clean(self) -> bool:
+        """Whether the campaign found no disagreements."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """The stable JSON form (deterministic for a fixed seed and budget)."""
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "clean": self.clean,
+            "counters": dict(sorted(self.counters.items())),
+            "findings": self.findings,
+        }
+
+
+def fuzz_run(
+    budget: int,
+    seed: int = 0,
+    config: OracleConfig | None = None,
+    rungs: tuple[EngineRung, ...] | None = None,
+    shrink: bool = True,
+    max_shrink_attempts: int = 200,
+) -> FuzzReport:
+    """Run a fuzz campaign of ``budget`` cases from ``seed``."""
+    if budget < 1:
+        raise ValueError("the fuzz budget must be at least one case")
+    base_config = config or OracleConfig()
+    report = FuzzReport(seed=seed, budget=budget)
+
+    def bump(counter: str, by: int = 1) -> None:
+        report.counters[counter] = report.counters.get(counter, 0) + by
+
+    for index in range(budget):
+        case_seed = derive_seed(seed, index)
+        triple = sample_triple(case_seed)
+        case_config = with_run_seed(base_config, case_seed)
+        bump(f"machine:{triple['machine']['kind']}")
+        bump(f"graph:{triple['graph']['family']}")
+        outcome = check_triple(triple, case_config, rungs)
+        for counter, value in sorted(outcome.counters.items()):
+            bump(counter, value)
+        for finding in outcome.findings:
+            bump(f"finding:{finding.check}")
+            if shrink:
+
+                def still_fails(candidate: dict, _check=finding.check) -> bool:
+                    rerun = check_triple(candidate, case_config, rungs)
+                    return any(f.check == _check for f in rerun.findings)
+
+                shrunk, attempts = shrink_triple(
+                    finding.triple, still_fails, max_attempts=max_shrink_attempts
+                )
+                finding.triple = shrunk
+                finding.shrunk = True
+                finding.shrink_attempts = attempts
+            report.findings.append(replay_document(finding, case_config))
+    report.counters["cases"] = budget
+    return report
+
+
+def render_json(report: FuzzReport) -> str:
+    """The machine-readable report: stable key order, no timestamps."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_text(report: FuzzReport) -> str:
+    """The human-readable report."""
+    lines = [
+        f"fuzz: {report.budget} case(s) from seed {report.seed} — "
+        f"{'clean' if report.clean else f'{len(report.findings)} finding(s)'}",
+    ]
+    for counter, value in sorted(report.counters.items()):
+        lines.append(f"  {counter}: {value}")
+    for document in report.findings:
+        finding = document["finding"]
+        lines.append("")
+        lines.append(f"FINDING [{finding['check']}]: {finding['detail']}")
+        lines.append(
+            "  shrunk triple: "
+            + json.dumps(finding["triple"], sort_keys=True)
+        )
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ SCOPE_FRAGMENTS = (
     "repro/population/",
     "repro/constructions/",
     "repro/extensions/",
+    "repro/fuzz/",
 )
 
 #: Modules whose *direct function* use is banned in scope (module -> why).

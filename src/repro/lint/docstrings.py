@@ -27,7 +27,13 @@ from repro.lint.framework import Checker, FileContext, Finding
 #: Roots the rule (and the ``tools/check_docstrings.py`` shim) walks by
 #: default — the public API, the engine layer, observability, and the lint
 #: framework itself.
-DEFAULT_ROOTS = ("src/repro/workloads", "src/repro/core", "src/repro/obs", "src/repro/lint")
+DEFAULT_ROOTS = (
+    "src/repro/workloads",
+    "src/repro/core",
+    "src/repro/obs",
+    "src/repro/lint",
+    "src/repro/fuzz",
+)
 
 #: Path fragments whose public *methods* must be documented as well.
 STRICT_FRAGMENTS = (

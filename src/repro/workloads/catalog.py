@@ -14,11 +14,15 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.core.graphs import (
+    barabasi_albert_graph,
     clique_from_count,
     cycle_from_count,
+    erdos_renyi_graph,
     line_from_count,
     random_connected_graph,
+    random_regular_graph,
     star_from_count,
+    watts_strogatz_graph,
 )
 from repro.core.labels import Alphabet, LabelCount
 from repro.core.machine import DistributedMachine, Neighborhood, State
@@ -33,7 +37,18 @@ AB = Alphabet.of("a", "b")
 # ---------------------------------------------------------------------- #
 # Shared parameter helpers
 # ---------------------------------------------------------------------- #
-GRAPH_FAMILIES = ("cycle", "line", "clique", "star", "implicit-clique", "random")
+GRAPH_FAMILIES = (
+    "cycle",
+    "line",
+    "clique",
+    "star",
+    "implicit-clique",
+    "random",
+    "erdos-renyi",
+    "barabasi-albert",
+    "random-regular",
+    "watts-strogatz",
+)
 
 
 def _label_count(params: Mapping) -> LabelCount:
@@ -64,6 +79,30 @@ def _graph(params: Mapping, count: LabelCount):
             max_degree=int(params.get("max_degree", 3)),
             seed=int(params.get("graph_seed", 0)),
         )
+    # The random families below share the `graph_seed` knob; `graph_density`
+    # is the family-specific density parameter (edge probability for
+    # Erdős–Rényi, rewire probability for Watts–Strogatz) and `max_degree`
+    # doubles as the structural degree knob (regular degree, ring neighbours,
+    # preferential attachments).
+    labels = count.to_label_sequence()
+    seed = int(params.get("graph_seed", 0))
+    density = float(params.get("graph_density", 0.5))
+    max_degree = int(params.get("max_degree", 3))
+    if family == "erdos-renyi":
+        return erdos_renyi_graph(AB, labels, edge_probability=density, seed=seed)
+    if family == "barabasi-albert":
+        attachment = max(1, min(max_degree - 1, len(labels) - 1))
+        return barabasi_albert_graph(AB, labels, attachment=attachment, seed=seed)
+    if family == "random-regular":
+        degree = max_degree
+        if (len(labels) * degree) % 2 != 0:
+            degree -= 1
+        return random_regular_graph(AB, labels, degree=degree, seed=seed)
+    if family == "watts-strogatz":
+        neighbours = max(2, max_degree - (max_degree % 2))
+        return watts_strogatz_graph(
+            AB, labels, neighbours=neighbours, rewire_probability=density, seed=seed
+        )
     raise ValueError(f"unknown graph family {family!r}; expected one of {GRAPH_FAMILIES}")
 
 
@@ -74,7 +113,7 @@ def _graph(params: Mapping, count: LabelCount):
     "exists-label",
     kind="detection-machine",
     description="Flooding dAF detector for ∃a on a chosen graph family",
-    defaults={"a": 1, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    defaults={"a": 1, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0, "graph_density": 0.5},
     ground_truth="accept iff a ≥ 1 (at least one 'a'-labelled node exists)",
 )
 def _exists_label(params: dict) -> MachineWorkload:
@@ -149,7 +188,7 @@ def _clique_majority(params: dict) -> MachineWorkload:
     kind="broadcast",
     description="Lemma C.5 weak-broadcast protocol for x_a ≥ k, compiled to a "
     "plain dAF machine via the Lemma 4.7 three-phase construction",
-    defaults={"a": 2, "b": 2, "k": 2, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    defaults={"a": 2, "b": 2, "k": 2, "graph": "cycle", "max_degree": 3, "graph_seed": 0, "graph_density": 0.5},
     ground_truth="accept iff a ≥ k ('a'-labelled nodes reach the threshold)",
 )
 def _threshold_broadcast(params: dict) -> MachineWorkload:
@@ -236,7 +275,7 @@ def _absence_probe(params: dict) -> MachineWorkload:
     kind="rendezvous",
     description="Pair-interaction parity protocol compiled into a β=2 counting "
     "machine via the Figure 4 five-status handshake (Lemma 4.10)",
-    defaults={"a": 3, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    defaults={"a": 3, "b": 4, "graph": "cycle", "max_degree": 3, "graph_seed": 0, "graph_density": 0.5},
     ground_truth="accept iff a is odd",
     notes=(
         "The handshake passes through long transient consensus stretches: a "
@@ -262,7 +301,7 @@ def _rendezvous_parity(params: dict) -> MachineWorkload:
     "Figure 4 handshake compilation (strict: ties reject)",
     # A comfortable margin: close races (e.g. 3 vs 2) are legitimate inputs
     # but need ~10^5 handshake steps on a cycle, too slow for a default.
-    defaults={"a": 4, "b": 1, "graph": "cycle", "max_degree": 3, "graph_seed": 0},
+    defaults={"a": 4, "b": 1, "graph": "cycle", "max_degree": 3, "graph_seed": 0, "graph_density": 0.5},
     ground_truth="accept iff a > b (strict majority; ties reject)",
     notes=(
         "Same stability-window footgun as rendezvous-parity (window ≥ 2000).",

@@ -1,0 +1,135 @@
+"""Tests for the fuzz generators: graph families, descriptors, sampling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    random_regular_graph,
+    watts_strogatz_graph,
+)
+from repro.core.labels import Alphabet
+from repro.fuzz import (
+    ALPHABET,
+    build_graph,
+    build_machine,
+    build_property,
+    explicit_graph_descriptor,
+    sample_triple,
+)
+from repro.fuzz.generators import sample_graph_descriptor
+from repro.workloads import get_scenario, validated_params
+
+AB = Alphabet.of("a", "b")
+LABELS = ["a", "a", "b", "b", "b", "a", "b"]
+
+
+class TestRandomGraphFamilies:
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (erdos_renyi_graph, {"edge_probability": 0.3}),
+            (barabasi_albert_graph, {"attachment": 2}),
+            (random_regular_graph, {"degree": 4}),
+            (watts_strogatz_graph, {"neighbours": 2, "rewire_probability": 0.3}),
+        ],
+    )
+    def test_connected_label_preserving_and_deterministic(self, factory, kwargs):
+        for seed in range(10):
+            graph = factory(AB, LABELS, seed=seed, **kwargs)
+            assert graph.is_connected()
+            assert sorted(graph.labels) == sorted(LABELS)
+            again = factory(AB, LABELS, seed=seed, **kwargs)
+            assert graph.labels == again.labels
+            assert graph.edges == again.edges
+
+    def test_regular_graph_is_regular(self):
+        graph = random_regular_graph(AB, ["a"] * 6, degree=3, seed=1)
+        assert all(graph.degree(node) == 3 for node in graph.nodes())
+
+    def test_regular_graph_rejects_odd_handshake(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(AB, ["a"] * 5, degree=3, seed=0)
+
+    def test_erdos_renyi_connectivity_repair_at_zero_density(self):
+        # p = 0 samples no edges at all; the repair must still connect it.
+        graph = erdos_renyi_graph(AB, LABELS, edge_probability=0.0, seed=7)
+        assert graph.is_connected()
+        assert graph.num_edges == graph.num_nodes - 1
+
+    def test_barabasi_albert_needs_enough_nodes(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(AB, ["a", "b"], attachment=2, seed=0)
+
+
+class TestCatalogGraphFamilies:
+    @pytest.mark.parametrize(
+        "family", ["erdos-renyi", "barabasi-albert", "random-regular", "watts-strogatz"]
+    )
+    def test_scenario_builds_on_new_family(self, family):
+        scenario = get_scenario("exists-label")
+        params = validated_params(
+            "exists-label", {"a": 2, "b": 4, "graph": family, "graph_seed": 1}
+        )
+        workload = scenario.builder(params)
+        assert workload.graph.is_connected()
+        assert workload.graph.num_nodes == 6
+
+    def test_graph_density_param_is_accepted(self):
+        params = validated_params(
+            "exists-label",
+            {"a": 2, "b": 4, "graph": "erdos-renyi", "graph_density": 0.9},
+        )
+        assert params["graph_density"] == 0.9
+
+
+class TestDescriptors:
+    def test_sampled_graph_descriptors_build_connected(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            desc = sample_graph_descriptor(rng)
+            graph = build_graph(desc)
+            assert graph.is_connected()
+            assert 3 <= graph.num_nodes <= 7
+
+    def test_explicit_descriptor_round_trip(self):
+        rng = random.Random(5)
+        desc = sample_graph_descriptor(rng)
+        explicit = explicit_graph_descriptor(desc)
+        original, rebuilt = build_graph(desc), build_graph(explicit)
+        assert original.labels == rebuilt.labels
+        assert original.edges == rebuilt.edges
+
+    def test_sampled_triples_build_and_are_deterministic(self):
+        for seed in range(25):
+            triple = sample_triple(seed)
+            assert triple == sample_triple(seed)
+            machine = build_machine(triple["machine"])
+            graph = build_graph(triple["graph"])
+            assert machine.alphabet is ALPHABET
+            graph.check_paper_convention()
+            prop = build_property(triple.get("property"))
+            if prop is not None:
+                assert isinstance(prop.evaluate(graph.label_count()), bool)
+
+    def test_table_machine_round_trip_matches_runtime_keys(self):
+        triple = {
+            "kind": "table",
+            "beta": 2,
+            "states": ["q0", "q1"],
+            "init": {"a": "q0", "b": "q1"},
+            "transitions": [["q0", [["q1", 2]], "q1"]],
+            "accepting": ["q1"],
+            "rejecting": ["q0"],
+        }
+        machine = build_machine(triple)
+        from repro.core.machine import Neighborhood
+
+        view = Neighborhood({"q1": 3}, beta=2)
+        assert machine.delta("q0", view) == "q1"
+        # Unspecified entries stay silent.
+        assert machine.delta("q1", view) == "q1"

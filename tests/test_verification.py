@@ -180,6 +180,19 @@ class TestAdversarialDecision:
         assert pseudo.verdict is Verdict.ACCEPT
         assert adversarial.verdict is Verdict.INCONSISTENT
 
+    def test_budget_enforced(self, ab):
+        machine = flooding_machine(ab)
+        g = cycle_graph(ab, ["a", "b", "b", "b"])
+        with pytest.raises(StateSpaceTooLarge):
+            decide_adversarial(machine, g, max_configurations=2)
+
+    def test_synchronous_selection_mode(self, ab):
+        machine = flooding_machine(ab)
+        report = decide_adversarial(
+            machine, cycle_graph(ab, ["a", "b", "b"]), SelectionMode.SYNCHRONOUS
+        )
+        assert report.verdict is Verdict.ACCEPT
+
 
 class TestTopLevelDecide:
     def test_dispatch_on_class(self, ab):
@@ -202,6 +215,36 @@ class TestTopLevelDecide:
             star_graph(ab, "b", ["a", "b"]),
         ]
         assert decides_same(auto, graphs)
+
+    def test_decides_same_false_on_disagreement(self, ab):
+        machine = flooding_machine(ab)
+        auto = automaton(machine, "dAf")
+        graphs = [
+            cycle_graph(ab, ["a", "b", "b"]),  # accepts: an 'a' is present
+            cycle_graph(ab, ["b", "b", "b"]),  # rejects: no 'a'
+        ]
+        assert not decides_same(auto, graphs)
+
+    def test_decides_same_false_when_inconsistent(self, ab):
+        # A uniformly INCONSISTENT verdict set is NOT "deciding the same":
+        # the automaton decides nothing at all on these graphs.
+        machine = flaky_machine(ab)
+        auto = automaton(machine, "dAf")
+        graphs = [cycle_graph(ab, ["a", "b", "b"]), line_graph(ab, ["b", "a", "b"])]
+        assert not decides_same(auto, graphs)
+
+    def test_decides_same_single_graph(self, ab):
+        machine = flooding_machine(ab)
+        auto = automaton(machine, "dAf")
+        assert decides_same(auto, [cycle_graph(ab, ["a", "b", "b"])])
+
+    def test_decides_same_propagates_budget(self, ab):
+        machine = flooding_machine(ab)
+        auto = automaton(machine, "dAf")
+        with pytest.raises(StateSpaceTooLarge):
+            decides_same(
+                auto, [cycle_graph(ab, ["a", "b", "b", "b"])], max_configurations=2
+            )
 
     def test_selection_mode_does_not_change_verdict(self, ab):
         """An empirical spot-check of the Esparza–Reiter collapse theorem."""
